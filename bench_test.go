@@ -1,0 +1,292 @@
+package codedensity
+
+// One benchmark per paper table/figure (the harness required by the
+// reproduction), plus performance microbenchmarks of the library itself.
+// Experiment benchmarks re-run the full measurement each iteration over a
+// forked corpus (programs shared, compression redone), so reported times
+// reflect real work.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/asm"
+	"repro/internal/bench"
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/huffman"
+	"repro/internal/lzw"
+	"repro/internal/machine"
+	"repro/internal/synth"
+)
+
+var (
+	benchCorpus = bench.NewCorpus()
+	warmOnce    sync.Once
+	benchSink   interface{}
+)
+
+func warm(b *testing.B) {
+	b.Helper()
+	warmOnce.Do(func() {
+		for _, n := range benchCorpus.Names() {
+			if _, err := benchCorpus.Program(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchExperiment(b *testing.B, id string) {
+	warm(b)
+	r, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(benchCorpus.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = tab
+	}
+}
+
+// Paper evaluation: one bench per table and figure.
+
+func BenchmarkFig1EncodingRedundancy(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkTable1BranchOffsets(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig4EntryLength(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig5CodewordCount(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkTable2MaxCodewords(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig6DictComposition(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7SavingsByLength(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8SmallDictionaries(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9Composition(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig11NibbleVsCompress(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkTable3PrologueEpilogue(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkExtBaselines(b *testing.B)           { benchExperiment(b, "baselines") }
+func BenchmarkExtICache(b *testing.B)              { benchExperiment(b, "icache") }
+func BenchmarkExtDecodePenalty(b *testing.B)       { benchExperiment(b, "penalty") }
+func BenchmarkAblationSelection(b *testing.B)      { benchExperiment(b, "ablation-selection") }
+func BenchmarkAblationAlignment(b *testing.B)      { benchExperiment(b, "ablation-alignment") }
+func BenchmarkExtStandardize(b *testing.B)         { benchExperiment(b, "standardize") }
+func BenchmarkExtDictPlacement(b *testing.B)       { benchExperiment(b, "dictplace") }
+func BenchmarkExtCycles(b *testing.B)              { benchExperiment(b, "cycles") }
+func BenchmarkExtProfiled(b *testing.B)            { benchExperiment(b, "profiled") }
+func BenchmarkExtRegalloc(b *testing.B)            { benchExperiment(b, "regalloc") }
+func BenchmarkExtRefill(b *testing.B)              { benchExperiment(b, "refill") }
+func BenchmarkExtSharedDictionary(b *testing.B)    { benchExperiment(b, "shared") }
+func BenchmarkExtCrossover(b *testing.B)           { benchExperiment(b, "crossover") }
+func BenchmarkExtScaling(b *testing.B)             { benchExperiment(b, "scaling") }
+
+// Library microbenchmarks.
+
+func benchProgram(b *testing.B, name string) *Program {
+	b.Helper()
+	warm(b)
+	p, err := benchCorpus.Program(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkGenerateBenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := synth.Generate("li")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = p
+	}
+}
+
+func benchCompress(b *testing.B, name string, scheme Scheme) {
+	p := benchProgram(b, name)
+	b.SetBytes(int64(p.SizeBytes()))
+	b.ResetTimer()
+	var last *Image
+	for i := 0; i < b.N; i++ {
+		img, err := core.Compress(p.Clone(), Options{Scheme: scheme})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = img
+	}
+	b.ReportMetric(last.Ratio(), "ratio")
+}
+
+func BenchmarkCompressBaselineGcc(b *testing.B) { benchCompress(b, "gcc", Baseline) }
+func BenchmarkCompressNibbleGcc(b *testing.B)   { benchCompress(b, "gcc", Nibble) }
+func BenchmarkCompressNibbleCompress(b *testing.B) {
+	benchCompress(b, "compress", Nibble)
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	p := benchProgram(b, "go")
+	img, err := core.Compress(p.Clone(), Options{Scheme: Nibble})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(img.StreamBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := img.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = out
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	p := benchProgram(b, "go")
+	img, err := core.Compress(p.Clone(), Options{Scheme: Nibble})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Verify(p, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeExecution(b *testing.B) {
+	p := benchProgram(b, "perl")
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		cpu, err := machine.NewForProgram(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cpu.Run(200_000_000); err != nil {
+			b.Fatal(err)
+		}
+		steps = cpu.Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+func BenchmarkCompressedExecution(b *testing.B) {
+	p := benchProgram(b, "perl")
+	img, err := core.Compress(p.Clone(), Options{Scheme: Nibble})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := core.NewMachine(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cpu.Run(200_000_000); err != nil {
+			b.Fatal(err)
+		}
+		steps = cpu.Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+func BenchmarkLZWCompress(b *testing.B) {
+	p := benchProgram(b, "go")
+	text := p.TextBytes()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = lzw.Compress(text)
+	}
+}
+
+func BenchmarkCCRPHuffman(b *testing.B) {
+	p := benchProgram(b, "go")
+	text := p.TextBytes()
+	model := huffman.DefaultCCRP()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := model.Compress(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}
+
+func BenchmarkApplyFixedDictionary(b *testing.B) {
+	p := benchProgram(b, "li")
+	q := benchProgram(b, "compress")
+	shared, err := core.BuildSharedDictionary(
+		[]*Program{p, q}, Options{Scheme: Baseline, MaxEntryLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := core.CompressFixed(p.Clone(), shared, Options{Scheme: Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = img
+	}
+}
+
+func BenchmarkAssembleInstruction(b *testing.B) {
+	srcs := []string{"lwz r9,4(r28)", "addi r0,r11,1", "ble cr1,.+0x1c8", "rlwinm r4,r5,3,5,28"}
+	for i := 0; i < b.N; i++ {
+		w, err := asm.Parse(srcs[i%len(srcs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = w
+	}
+}
+
+func BenchmarkDisassembleInstruction(b *testing.B) {
+	p := benchProgram(b, "compress")
+	for i := 0; i < b.N; i++ {
+		benchSink = asm.Disassemble(p.Text[i%len(p.Text)])
+	}
+}
+
+func BenchmarkCCRPExecution(b *testing.B) {
+	p := benchProgram(b, "compress")
+	img, err := huffman.BuildCCRPImage(p, huffman.DefaultCCRP())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := huffman.NewCCRPMachine(img, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cpu.Run(200_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamDecodeNibble(b *testing.B) {
+	p := benchProgram(b, "go")
+	img, err := core.Compress(p.Clone(), Options{Scheme: codeword.Nibble})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rdr := codeword.NewReader(img.Scheme, img.Stream, img.Units)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < img.Units; {
+			it, err := rdr.At(u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u += it.Units
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command ccasm assembles textual PowerPC-subset source into a .ppx
+// object file that ccomp/ccrun/ccdis accept.
+//
+// Source format (see program.AssembleSource): ppc mnemonics, one per
+// line, with .program/.entry/.func directives, local labels, and symbolic
+// branch targets.
+//
+// Usage:
+//
+//	ccasm -o prog.ppx prog.s
+//	echo '.func main
+//	li r3,7
+//	li r0,0
+//	sc' | ccasm -o tiny.ppx -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/objfile"
+	"repro/internal/program"
+)
+
+func main() {
+	out := flag.String("o", "", "output .ppx path (default: input with .ppx suffix)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccasm [-o out.ppx] prog.s  (use - for stdin)")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	var src []byte
+	var err error
+	if in == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	p, err := program.AssembleSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	dst := *out
+	if dst == "" {
+		if in == "-" {
+			dst = "a.ppx"
+		} else {
+			dst = strings.TrimSuffix(in, ".s") + ".ppx"
+		}
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	if err := objfile.WriteProgram(f, p); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d functions -> %s\n",
+		p.Name, len(p.Text), len(p.Symbols), dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccasm:", err)
+	os.Exit(1)
+}

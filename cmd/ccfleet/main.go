@@ -1,0 +1,155 @@
+// Command ccfleet manages shared (fleet-wide/ROM) dictionaries: build one
+// over several programs, then compress each program against it.
+//
+// Usage:
+//
+//	ccfleet build -scheme baseline -o fleet.ppd a.ppx b.ppx c.ppx
+//	ccfleet compress -dict fleet.ppd -o a.ppz a.ppx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/objfile"
+	"repro/internal/program"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "compress":
+		compress(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ccfleet build    [-scheme S] [-entrylen N] -o fleet.ppd prog.ppx...
+  ccfleet compress [-scheme S] -dict fleet.ppd [-o out.ppz] prog.ppx`)
+	os.Exit(2)
+}
+
+func readProgram(path string) *program.Program {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := objfile.ReadProgram(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return p
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	schemeName := fs.String("scheme", "baseline", "codeword scheme")
+	entryLen := fs.Int("entrylen", 4, "maximum instructions per entry")
+	out := fs.String("o", "fleet.ppd", "output dictionary path")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	scheme, err := cli.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	var progs []*program.Program
+	for _, path := range fs.Args() {
+		progs = append(progs, readProgram(path))
+	}
+	entries, err := core.BuildSharedDictionary(progs, core.Options{Scheme: scheme, MaxEntryLen: *entryLen})
+	if err != nil {
+		fatal(err)
+	}
+	g, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := objfile.WriteDictionary(g, entries); err != nil {
+		fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		fatal(err)
+	}
+	bytes := codeword.DictBytes(lens(entries))
+	fmt.Printf("shared dictionary over %d programs: %d entries, %d bytes -> %s\n",
+		len(progs), len(entries), bytes, *out)
+}
+
+func compress(args []string) {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	schemeName := fs.String("scheme", "baseline", "codeword scheme")
+	dictPath := fs.String("dict", "", "shared dictionary (.ppd)")
+	out := fs.String("o", "", "output .ppz (default input with .ppz suffix)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *dictPath == "" {
+		usage()
+	}
+	scheme, err := cli.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(*dictPath)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := objfile.ReadDictionary(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	in := fs.Arg(0)
+	p := readProgram(in)
+	img, err := core.CompressFixed(p.Clone(), entries, core.Options{Scheme: scheme})
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.Verify(p, img); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".ppx") + ".ppz"
+	}
+	g, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	if err := objfile.WriteImage(g, img); err != nil {
+		fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: stream %d bytes (dictionary shared, %d entries) ratio-with-shared-dict %.3f -> %s\n",
+		p.Name, img.StreamBytes, len(img.Entries),
+		float64(img.StreamBytes)/float64(img.OriginalBytes), dst)
+}
+
+func lens(entries []dictionary.Entry) []int {
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		out[i] = len(e.Words)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfleet:", err)
+	os.Exit(1)
+}

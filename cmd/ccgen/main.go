@@ -1,0 +1,70 @@
+// Command ccgen generates the synthetic SPEC CINT95 stand-in corpus as
+// .ppx object files.
+//
+// Usage:
+//
+//	ccgen -out corpus/          # all eight benchmarks
+//	ccgen -out corpus/ gcc li   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/objfile"
+	"repro/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	src := flag.Bool("src", false, "print each benchmark's generated pseudo-C source instead of writing .ppx")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = synth.BenchmarkNames()
+	}
+	if *src {
+		for _, name := range names {
+			prof, err := synth.ProfileFor(name)
+			if err != nil {
+				fatal(err)
+			}
+			m, err := synth.GenerateModule(prof)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(synth.Print(m))
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		p, err := synth.Generate(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, name+".ppx")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := objfile.WriteProgram(f, p); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %6d instructions  %7d text bytes  -> %s\n",
+			name, len(p.Text), p.SizeBytes(), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command ccomp compresses a .ppx object file into a .ppz image, verifies
+// it against the original, and prints the size breakdown.
+//
+// Usage:
+//
+//	ccomp -scheme nibble -o prog.ppz prog.ppx
+//	ccomp -scheme baseline -entries 1024 -entrylen 8 prog.ppx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/objfile"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "baseline", "codeword scheme: baseline, onebyte, nibble, liao")
+	entries := flag.Int("entries", 0, "dictionary entry budget (0 = scheme maximum)")
+	entryLen := flag.Int("entrylen", 4, "maximum instructions per dictionary entry")
+	out := flag.String("o", "", "output .ppz path (default: input with .ppz suffix)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccomp [flags] prog.ppx")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	scheme, err := cli.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := objfile.ReadProgram(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	img, err := core.Compress(p.Clone(), core.Options{
+		Scheme: scheme, MaxEntries: *entries, MaxEntryLen: *entryLen,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.Verify(p, img); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".ppx") + ".ppz"
+	}
+	g, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	if err := objfile.WriteImage(g, img); err != nil {
+		fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		fatal(err)
+	}
+
+	st := img.Stats
+	fmt.Printf("%s: %s scheme\n", p.Name, img.Scheme)
+	fmt.Printf("  original         %8d bytes (%d instructions)\n", img.OriginalBytes, img.OriginalBytes/4)
+	fmt.Printf("  stream           %8d bytes (%d units of %d bits)\n", img.StreamBytes, img.Units, img.Scheme.UnitBits())
+	fmt.Printf("  dictionary       %8d bytes (%d entries)\n", img.DictionaryBytes, len(img.Entries))
+	fmt.Printf("  compressed       %8d bytes\n", img.CompressedBytes())
+	fmt.Printf("  compression ratio %.3f (%.1f%% reduction)\n", img.Ratio(), 100*(1-img.Ratio()))
+	fmt.Printf("  codewords %d (covering %d instructions), raw %d, far-branch stubs %d\n",
+		st.CodewordItems, st.CoveredInsns, st.RawItems, st.StubBranches)
+	fmt.Printf("  verified: structural equivalence OK -> %s\n", dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccomp:", err)
+	os.Exit(1)
+}

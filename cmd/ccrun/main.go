@@ -1,0 +1,100 @@
+// Command ccrun executes a .ppx program or a .ppz compressed image on the
+// simulator and reports execution statistics.
+//
+// Usage:
+//
+//	ccrun prog.ppx
+//	ccrun -steps 1e8 -cache 1024 prog.ppz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/objfile"
+	"repro/internal/ppc"
+)
+
+func main() {
+	maxSteps := flag.Int64("steps", 200_000_000, "step budget")
+	cacheSize := flag.Int("cache", 0, "simulate an I-cache of this many bytes (direct-mapped, 32B lines)")
+	trace := flag.Int("trace", 0, "print the first N executed instructions to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] prog.{ppx,ppz}")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var cpu *machine.CPU
+	switch {
+	case strings.HasSuffix(path, ".ppz"):
+		img, err := objfile.ReadImage(f)
+		if err != nil {
+			fatal(err)
+		}
+		cpu, err = core.NewMachine(img)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		p, err := objfile.ReadProgram(f)
+		if err != nil {
+			fatal(err)
+		}
+		cpu, err = machine.NewForProgram(p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var ic *cache.Cache
+	if *cacheSize > 0 {
+		ic, err = cache.New(cache.Config{SizeBytes: *cacheSize, LineBytes: 32, Assoc: 1})
+		if err != nil {
+			fatal(err)
+		}
+		cpu.TraceFetch = ic.Access
+	}
+
+	if *trace > 0 {
+		left := *trace
+		cpu.TraceExec = func(cia uint32, word uint32) {
+			if left > 0 {
+				fmt.Fprintf(os.Stderr, "  %08x: %s\n", cia, ppc.Disassemble(word))
+				left--
+			}
+		}
+	}
+
+	status, err := cpu.Run(*maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(cpu.Output())
+	st := cpu.Stats
+	fmt.Fprintf(os.Stderr, "exit status %d\n", status)
+	fmt.Fprintf(os.Stderr, "steps %d, taken branches %d, syscalls %d\n", st.Steps, st.TakenBranches, st.Syscalls)
+	fmt.Fprintf(os.Stderr, "program-memory fetches %d (%d bytes), dictionary expansions %d\n",
+		st.MemFetches, st.FetchedBytes, st.Expanded)
+	if ic != nil {
+		fmt.Fprintf(os.Stderr, "icache: %d accesses, %d misses (%.2f%%)\n",
+			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccrun:", err)
+	os.Exit(1)
+}

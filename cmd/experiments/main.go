@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (plus the extension experiments) as text tables.
+//
+// Usage:
+//
+//	experiments            # run everything, paper order
+//	experiments -run fig5  # run one experiment
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this id")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	corpus := bench.NewCorpus()
+	run := func(r bench.Runner) error {
+		t0 := time.Now()
+		tab, err := r.Run(corpus)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if *csv {
+			fmt.Printf("# == %s: %s ==\n%s\n", tab.ID, tab.Title, tab.RenderCSV())
+			return nil
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	if *runID != "" {
+		r, ok := bench.Find(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+			os.Exit(2)
+		}
+		if err := run(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range bench.Experiments {
+		if err := run(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

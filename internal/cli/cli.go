@@ -1,0 +1,27 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codeword"
+)
+
+// ParseScheme maps user-facing scheme names to codeword schemes.
+func ParseScheme(s string) (codeword.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "2byte":
+		return codeword.Baseline, nil
+	case "onebyte", "1byte":
+		return codeword.OneByte, nil
+	case "nibble":
+		return codeword.Nibble, nil
+	case "liao":
+		return codeword.Liao, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want baseline, onebyte, nibble or liao)", s)
+}
+
+// SchemeNames lists the accepted scheme names.
+func SchemeNames() []string { return []string{"baseline", "onebyte", "nibble", "liao"} }

@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/codeword"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in   string
+		want codeword.Scheme
+		ok   bool
+	}{
+		{"baseline", codeword.Baseline, true},
+		{"BASELINE", codeword.Baseline, true},
+		{"2byte", codeword.Baseline, true},
+		{"onebyte", codeword.OneByte, true},
+		{"1byte", codeword.OneByte, true},
+		{"nibble", codeword.Nibble, true},
+		{"Nibble", codeword.Nibble, true},
+		{"liao", codeword.Liao, true},
+		{"huffman", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseScheme(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseScheme(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseScheme(%q) accepted", c.in)
+		}
+	}
+	// Every advertised name must parse.
+	for _, n := range SchemeNames() {
+		if _, err := ParseScheme(n); err != nil {
+			t.Errorf("advertised name %q does not parse", n)
+		}
+	}
+}

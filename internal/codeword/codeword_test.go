@@ -1,0 +1,294 @@
+package codeword
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ppc"
+)
+
+func TestSchemeParameters(t *testing.T) {
+	cases := []struct {
+		s        Scheme
+		unit     int
+		maxE     int
+		rawUnits int
+	}{
+		{Baseline, 16, 8192, 2},
+		{OneByte, 8, 32, 4},
+		{Nibble, 4, 8760, 9},
+		{Liao, 32, 65536, 1},
+	}
+	for _, c := range cases {
+		if c.s.UnitBits() != c.unit {
+			t.Errorf("%v unit %d", c.s, c.s.UnitBits())
+		}
+		if c.s.MaxEntries() != c.maxE {
+			t.Errorf("%v max entries %d", c.s, c.s.MaxEntries())
+		}
+		if c.s.RawInsnUnits() != c.rawUnits {
+			t.Errorf("%v raw units %d", c.s, c.s.RawInsnUnits())
+		}
+	}
+}
+
+func TestNibbleCodewordBits(t *testing.T) {
+	// Fig. 10: 8 four-bit, 48 eight-bit, 512 twelve-bit, 8192 sixteen-bit.
+	counts := map[int]int{}
+	for rank := 0; rank < Nibble.MaxEntries(); rank++ {
+		counts[Nibble.CodewordBits(rank)]++
+	}
+	want := map[int]int{4: 8, 8: 48, 12: 512, 16: 8192}
+	for bits, n := range want {
+		if counts[bits] != n {
+			t.Errorf("%d-bit codewords: %d, want %d", bits, counts[bits], n)
+		}
+	}
+	// Monotone in rank.
+	prev := 0
+	for rank := 0; rank < Nibble.MaxEntries(); rank++ {
+		b := Nibble.CodewordBits(rank)
+		if b < prev {
+			t.Fatalf("CodewordBits not monotone at rank %d", rank)
+		}
+		prev = b
+	}
+}
+
+func TestStreamRoundTripAllSchemes(t *testing.T) {
+	words := []uint32{
+		ppc.Lbz(9, 0, 28), ppc.Clrlwi(11, 9, 24), ppc.Addi(0, 11, 1),
+		ppc.Blr(), ppc.Sc(), ppc.Stw(18, 0, 28),
+	}
+	for _, s := range []Scheme{Baseline, OneByte, Nibble, Liao} {
+		t.Run(s.String(), func(t *testing.T) {
+			w := NewWriter(s)
+			type rec struct {
+				isCw bool
+				rank int
+				word uint32
+				unit int
+			}
+			var recs []rec
+			ranks := []int{0, 1, s.MaxEntries() - 1, s.MaxEntries() / 2}
+			for i := 0; i < 40; i++ {
+				u := w.Units()
+				if i%3 == 0 {
+					rank := ranks[i/3%len(ranks)]
+					if err := w.Codeword(rank); err != nil {
+						t.Fatal(err)
+					}
+					recs = append(recs, rec{isCw: true, rank: rank, unit: u})
+				} else {
+					word := words[i%len(words)]
+					if err := w.Raw(word); err != nil {
+						t.Fatal(err)
+					}
+					recs = append(recs, rec{word: word, unit: u})
+				}
+			}
+			r := NewReader(s, w.Bytes(), w.Units())
+			for _, rc := range recs {
+				it, err := r.At(rc.unit)
+				if err != nil {
+					t.Fatalf("At(%d): %v", rc.unit, err)
+				}
+				if it.IsCodeword != rc.isCw {
+					t.Fatalf("At(%d): kind mismatch", rc.unit)
+				}
+				if rc.isCw && it.Rank != rc.rank {
+					t.Fatalf("At(%d): rank %d want %d", rc.unit, it.Rank, rc.rank)
+				}
+				if !rc.isCw && it.Word != rc.word {
+					t.Fatalf("At(%d): word %08x want %08x", rc.unit, it.Word, rc.word)
+				}
+				if got := s.CodewordUnits(rc.rank); rc.isCw && it.Units != got {
+					t.Fatalf("At(%d): units %d want %d", rc.unit, it.Units, got)
+				}
+				if !rc.isCw && it.Units != s.RawInsnUnits() {
+					t.Fatalf("At(%d): raw units %d", rc.unit, it.Units)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSequentialQuick: random item sequences decode back exactly by
+// walking the stream unit-by-unit.
+func TestStreamSequentialQuick(t *testing.T) {
+	words := []uint32{
+		ppc.Addi(3, 3, 1), ppc.Lwz(9, 4, 28), ppc.Mr(31, 3), ppc.Blr(),
+	}
+	f := func(seed int64, schemeRaw uint8) bool {
+		s := Scheme(schemeRaw % 4)
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter(s)
+		var wantKind []bool
+		var wantRank []int
+		var wantWord []uint32
+		for i := 0; i < 60; i++ {
+			if rng.Intn(2) == 0 {
+				rank := rng.Intn(s.MaxEntries())
+				if w.Codeword(rank) != nil {
+					return false
+				}
+				wantKind = append(wantKind, true)
+				wantRank = append(wantRank, rank)
+				wantWord = append(wantWord, 0)
+			} else {
+				word := words[rng.Intn(len(words))]
+				if w.Raw(word) != nil {
+					return false
+				}
+				wantKind = append(wantKind, false)
+				wantRank = append(wantRank, 0)
+				wantWord = append(wantWord, word)
+			}
+		}
+		r := NewReader(s, w.Bytes(), w.Units())
+		u := 0
+		for i := range wantKind {
+			it, err := r.At(u)
+			if err != nil {
+				return false
+			}
+			if it.IsCodeword != wantKind[i] {
+				return false
+			}
+			if it.IsCodeword && it.Rank != wantRank[i] {
+				return false
+			}
+			if !it.IsCodeword && it.Word != wantWord[i] {
+				return false
+			}
+			u += it.Units
+		}
+		return u == w.Units()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEveryRankRoundTrips exhaustively encodes and decodes every codeword
+// rank of every scheme — the nibble class boundaries (8/56/568/8760) are
+// where off-by-ones would hide.
+func TestEveryRankRoundTrips(t *testing.T) {
+	for _, s := range []Scheme{Baseline, OneByte, Nibble, Liao} {
+		w := NewWriter(s)
+		offsets := make([]int, s.MaxEntries())
+		for rank := 0; rank < s.MaxEntries(); rank++ {
+			offsets[rank] = w.Units()
+			if err := w.Codeword(rank); err != nil {
+				t.Fatalf("%v rank %d: %v", s, rank, err)
+			}
+		}
+		r := NewReader(s, w.Bytes(), w.Units())
+		for rank := 0; rank < s.MaxEntries(); rank++ {
+			it, err := r.At(offsets[rank])
+			if err != nil {
+				t.Fatalf("%v rank %d decode: %v", s, rank, err)
+			}
+			if !it.IsCodeword || it.Rank != rank {
+				t.Fatalf("%v rank %d decoded as %+v", s, rank, it)
+			}
+			if it.Units != s.CodewordUnits(rank) {
+				t.Fatalf("%v rank %d units %d, want %d", s, rank, it.Units, s.CodewordUnits(rank))
+			}
+		}
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	w := NewWriter(Baseline)
+	if err := w.Codeword(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if err := w.Codeword(Baseline.MaxEntries()); err == nil {
+		t.Error("overflow rank accepted")
+	}
+	// A word starting with an escape byte cannot be emitted raw in
+	// byte-granular schemes.
+	bad := uint32(ppc.EscapeBytes()[0]) << 24
+	if err := w.Raw(bad); err == nil {
+		t.Error("escape-leading raw word accepted")
+	}
+	// The nibble scheme does not care: its escape is a nibble.
+	nw := NewWriter(Nibble)
+	if err := nw.Raw(bad); err != nil {
+		t.Errorf("nibble Raw: %v", err)
+	}
+}
+
+func TestReaderBoundsErrors(t *testing.T) {
+	w := NewWriter(Nibble)
+	if err := w.Codeword(0); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(Nibble, w.Bytes(), w.Units())
+	if _, err := r.At(5); err == nil {
+		t.Error("out-of-range nibble read accepted")
+	}
+	// Truncated raw instruction.
+	w2 := NewWriter(Nibble)
+	if err := w2.Raw(ppc.Nop()); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewReader(Nibble, w2.Bytes(), 4) // lie about the length
+	if _, err := r2.At(0); err == nil {
+		t.Error("truncated stream decode accepted")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	w := NewWriter(Nibble)
+	if err := w.Codeword(3); err != nil { // 1 nibble
+		t.Fatal(err)
+	}
+	if w.SizeBytes() != 1 {
+		t.Errorf("1 nibble -> %d bytes", w.SizeBytes())
+	}
+	if err := w.Raw(ppc.Nop()); err != nil { // +9 nibbles = 10 total
+		t.Fatal(err)
+	}
+	if w.SizeBytes() != 5 {
+		t.Errorf("10 nibbles -> %d bytes", w.SizeBytes())
+	}
+	bw := NewWriter(Baseline)
+	if err := bw.Codeword(300); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Raw(ppc.Nop()); err != nil {
+		t.Fatal(err)
+	}
+	if bw.SizeBytes() != 6 || bw.Units() != 3 {
+		t.Errorf("baseline: %d bytes %d units", bw.SizeBytes(), bw.Units())
+	}
+}
+
+func TestDictBytes(t *testing.T) {
+	if got := DictBytes(nil); got != DictHeaderBytes {
+		t.Errorf("empty dictionary %d bytes", got)
+	}
+	// 2 entries of 1 and 4 instructions: 4 + (1+4) + (1+16) = 26.
+	if got := DictBytes([]int{1, 4}); got != 26 {
+		t.Errorf("DictBytes = %d, want 26", got)
+	}
+}
+
+func TestEscapeBytesDoNotCollideWithText(t *testing.T) {
+	// Every escape byte must have a reserved primary opcode; every valid
+	// instruction must not start with one.
+	for _, b := range ppc.EscapeBytes() {
+		if !ppc.IsReservedOpcode(b >> 2) {
+			t.Errorf("escape byte %02x has legal opcode", b)
+		}
+	}
+	for _, w := range []uint32{ppc.Addi(1, 2, 3), ppc.Blr(), ppc.Sc(), ppc.Rlwinm(1, 2, 3, 4, 5)} {
+		if ppc.IsEscapeByte(byte(w >> 24)) {
+			t.Errorf("instruction %08x starts with escape byte", w)
+		}
+	}
+}

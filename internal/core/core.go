@@ -1,0 +1,372 @@
+// Package core implements the paper's contribution: post-compilation
+// dictionary compression of PowerPC programs (§3). It builds the greedy
+// dictionary over basic-block-confined sequences, replaces occurrences
+// with codewords in one of the supported encodings, lays the result out at
+// codeword-unit alignment, repatches every relative-branch offset in unit
+// granularity (§3.2.2), rewrites out-of-range branches through
+// register-indirect stubs, patches jump tables in the data section, and
+// accounts for the dictionary in the compressed size (§4). It also
+// provides the decompressor, the structural verifier, and the compressed
+// fetch frontend of Figure 3 for the machine simulator.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codeword"
+	"repro/internal/dictionary"
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// CompressedBase is the base address of compressed text in unit space.
+// Branch fields hold unit displacements, so the base only matters for
+// absolute values (jump tables, LR/CTR contents).
+const CompressedBase = 0x0010_0000
+
+// Options selects the encoding and dictionary shape.
+type Options struct {
+	// Scheme is the codeword encoding (baseline 2-byte by default).
+	Scheme codeword.Scheme
+
+	// MaxEntries bounds the dictionary; 0 means the scheme's maximum.
+	MaxEntries int
+
+	// MaxEntryLen bounds instructions per entry; 0 means the paper's
+	// baseline of 4.
+	MaxEntryLen int
+
+	// Strategy selects the dictionary-building policy (ablation hook);
+	// the zero value is the paper's greedy algorithm.
+	Strategy dictionary.Strategy
+
+	// DynProfile, when non-nil, holds per-original-word execution counts
+	// (from a profiling run). Codeword ranks are then assigned by dynamic
+	// fetch frequency instead of static use count, so the shortest
+	// codewords cover the most-executed sequences — minimizing run-time
+	// fetch traffic at a possible small cost in static size. Length must
+	// equal the program's text length.
+	DynProfile []int64
+}
+
+func (o Options) normalized() Options {
+	if o.MaxEntryLen == 0 {
+		o.MaxEntryLen = 4
+	}
+	if o.MaxEntries == 0 || o.MaxEntries > o.Scheme.MaxEntries() {
+		o.MaxEntries = o.Scheme.MaxEntries()
+	}
+	return o
+}
+
+// Mark records where an original instruction landed in the stream; it is
+// sideband metadata for verification and disassembly, not part of the
+// compressed size.
+type Mark struct {
+	Unit int // stream unit offset of the item
+	Orig int // original text word index (sequence start for codewords)
+
+	// Kind describes the item.
+	Kind MarkKind
+}
+
+// MarkKind classifies stream items.
+type MarkKind uint8
+
+// Stream item kinds.
+const (
+	MarkRaw      MarkKind = iota // uncompressed non-branch instruction
+	MarkCodeword                 // dictionary codeword
+	MarkBranch                   // patched relative branch
+	MarkStub                     // far branch expanded to an indirect stub
+)
+
+// Stats break the compressed program down for Figure 9.
+type Stats struct {
+	Items         int
+	CodewordItems int
+	RawItems      int // uncompressed instructions incl. branches
+	StubBranches  int // far branches rewritten through registers
+	CoveredInsns  int // original instructions absorbed into codewords
+
+	// Figure 9 decomposition, in bits of the final stream.
+	CodewordBits int // total codeword bits (incl. escape portion)
+	EscapeBits   int // escape portion of the codewords
+	RawBits      int // uncompressed instruction bits (incl. nibble escapes)
+}
+
+// Image is a compressed program.
+type Image struct {
+	Name   string
+	Scheme codeword.Scheme
+
+	Stream []byte
+	Units  int
+
+	// Entries are ranked by use count (most frequent first) so the
+	// shortest codewords cover the hottest sequences.
+	Entries []dictionary.Entry
+
+	Base      uint32 // unit-space base address
+	EntryUnit uint32 // absolute unit address of the entry point
+
+	Data           []byte // data section with repatched jump tables
+	DataBase       uint32
+	JumpTableSlots []int
+
+	Symbols []program.Symbol // Word field holds the *unit* offset
+
+	Marks []Mark
+
+	OriginalBytes   int
+	StreamBytes     int
+	DictionaryBytes int
+
+	Stats Stats
+}
+
+// CompressedBytes is the total compressed size: stream plus dictionary,
+// per the paper's accounting ("All compressed program sizes include the
+// overhead of the dictionary").
+func (img *Image) CompressedBytes() int { return img.StreamBytes + img.DictionaryBytes }
+
+// Ratio is Eq. 1: compressed size / original size.
+func (img *Image) Ratio() float64 {
+	if img.OriginalBytes == 0 {
+		return 0
+	}
+	return float64(img.CompressedBytes()) / float64(img.OriginalBytes)
+}
+
+// markByUnit finds the mark starting at an absolute unit address.
+func (img *Image) markByUnit(abs uint32) (Mark, bool) {
+	rel := int(abs - img.Base)
+	i := sort.Search(len(img.Marks), func(i int) bool { return img.Marks[i].Unit >= rel })
+	if i < len(img.Marks) && img.Marks[i].Unit == rel {
+		return img.Marks[i], true
+	}
+	return Mark{}, false
+}
+
+// markers computes the compressibility and leader vectors for a program:
+// §3.2.1 — relative branches are never compressed (their offsets must be
+// rewritten); link-setting branches are excluded too because a return
+// into the middle of a dictionary entry is unaddressable.
+func markers(p *program.Program) (compressible []bool, an *program.Analysis, err error) {
+	an, err = program.Analyze(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	compressible = make([]bool, len(p.Text))
+	for i, w := range p.Text {
+		compressible[i] = !ppc.IsRelativeBranch(w) && !(ppc.IsBranch(w) && ppc.IsCall(w))
+	}
+	return compressible, an, nil
+}
+
+// CompressFixed compresses a program against a pre-built dictionary (a
+// ROM dictionary shared across programs, for instance). Entry order is
+// preserved — codeword ranks must mean the same thing to every program
+// sharing the dictionary — and the scheme must have room for them all.
+func CompressFixed(p *program.Program, entries []dictionary.Entry, opt Options) (*Image, error) {
+	opt = opt.normalized()
+	if len(entries) > opt.Scheme.MaxEntries() {
+		return nil, fmt.Errorf("core: %d entries exceed %v's codeword space", len(entries), opt.Scheme)
+	}
+	compressible, an, err := markers(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dictionary.Apply(p.Text, entries, dictionary.Config{
+		Compressible: compressible,
+		Leader:       an.Leader,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Identity ranking: the shared dictionary's order is fixed.
+	rank := reranked{entries: res.Entries, of: make([]int, len(res.Entries))}
+	for i := range rank.of {
+		rank.of[i] = i
+	}
+	return assemble(p, opt, res, rank)
+}
+
+// BuildSharedDictionary runs the greedy builder over the concatenation of
+// several programs and returns a single dictionary (most-used entries
+// first) suitable for CompressFixed on each of them — the fleet-wide ROM
+// dictionary deployment.
+func BuildSharedDictionary(programs []*program.Program, opt Options) ([]dictionary.Entry, error) {
+	opt = opt.normalized()
+	var text []uint32
+	var compressible, leaders []bool
+	for _, p := range programs {
+		comp, an, err := markers(p)
+		if err != nil {
+			return nil, err
+		}
+		text = append(text, p.Text...)
+		compressible = append(compressible, comp...)
+		leaders = append(leaders, an.Leader...)
+	}
+	res, err := dictionary.Build(text, dictionary.Config{
+		MaxEntries:        opt.MaxEntries,
+		MaxEntryLen:       opt.MaxEntryLen,
+		CodewordBits:      opt.Scheme.CodewordBits,
+		EntryOverheadBits: codeword.EntryOverheadBits,
+		Compressible:      compressible,
+		Leader:            leaders,
+		Strategy:          opt.Strategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rank := rerank(res, nil)
+	return rank.entries, nil
+}
+
+// Compress runs the full pipeline.
+func Compress(p *program.Program, opt Options) (*Image, error) {
+	opt = opt.normalized()
+	n := len(p.Text)
+	compressible, an, err := markers(p)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := dictionary.Build(p.Text, dictionary.Config{
+		MaxEntries:        opt.MaxEntries,
+		MaxEntryLen:       opt.MaxEntryLen,
+		CodewordBits:      opt.Scheme.CodewordBits,
+		EntryOverheadBits: codeword.EntryOverheadBits,
+		Compressible:      compressible,
+		Leader:            an.Leader,
+		Strategy:          opt.Strategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Re-rank entries so the most frequent sequences receive the shortest
+	// codewords (§3.1.3) — by static use count, or by dynamic fetch count
+	// when a profile is supplied; remap item references.
+	if opt.DynProfile != nil && len(opt.DynProfile) != n {
+		return nil, fmt.Errorf("core: profile length %d != text length %d", len(opt.DynProfile), n)
+	}
+	rank := rerank(res, opt.DynProfile)
+	return assemble(p, opt, res, rank)
+}
+
+// assemble runs the scheme-dependent back half of the pipeline: layout,
+// emission, branch patching, jump-table repatching and accounting.
+func assemble(p *program.Program, opt Options, res *dictionary.Result, rank reranked) (*Image, error) {
+	an, err := program.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{
+		Name:           p.Name,
+		Scheme:         opt.Scheme,
+		Entries:        rank.entries,
+		Base:           CompressedBase,
+		Data:           append([]byte(nil), p.Data...),
+		DataBase:       p.DataBase,
+		JumpTableSlots: append([]int(nil), p.JumpTableSlots...),
+		OriginalBytes:  p.SizeBytes(),
+	}
+
+	lay, err := layout(p, an, res.Items, rank.of, opt.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit(img, p, res.Items, rank.of, lay); err != nil {
+		return nil, err
+	}
+
+	// Patch jump tables to absolute unit addresses in compressed space.
+	jts, err := p.JumpTableTargets()
+	if err != nil {
+		return nil, err
+	}
+	for i, slot := range img.JumpTableSlots {
+		u, ok := lay.unitOf[jts[i]]
+		if !ok {
+			return nil, fmt.Errorf("core: jump table target word %d is not an item start", jts[i])
+		}
+		putBE32(img.Data[slot:], img.Base+uint32(u))
+	}
+
+	// Symbols and entry point.
+	for _, s := range p.Symbols {
+		if u, ok := lay.unitOf[s.Word]; ok {
+			img.Symbols = append(img.Symbols, program.Symbol{Name: s.Name, Word: u})
+		}
+	}
+	eu, ok := lay.unitOf[p.Entry]
+	if !ok {
+		return nil, fmt.Errorf("core: entry word %d is not an item start", p.Entry)
+	}
+	img.EntryUnit = img.Base + uint32(eu)
+
+	img.DictionaryBytes = codeword.DictBytes(entryLens(img.Entries))
+	img.Stats.CoveredInsns = res.CoveredInsns
+	return img, nil
+}
+
+// reranked carries the frequency-ordered dictionary.
+type reranked struct {
+	entries []dictionary.Entry
+	of      []int // old index -> new rank
+}
+
+func rerank(res *dictionary.Result, profile []int64) reranked {
+	weight := make([]int64, len(res.Entries))
+	for i, e := range res.Entries {
+		weight[i] = int64(e.Uses)
+	}
+	if profile != nil {
+		// Dynamic weight: how often each entry's codeword is fetched,
+		// approximated by the execution count of the sequence's first
+		// instruction summed over all replaced occurrences.
+		for i := range weight {
+			weight[i] = 0
+		}
+		for _, it := range res.Items {
+			if it.IsCodeword {
+				weight[it.Entry] += profile[it.OrigIdx]
+			}
+		}
+	}
+	order := make([]int, len(res.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weight[order[a]] > weight[order[b]]
+	})
+	r := reranked{
+		entries: make([]dictionary.Entry, len(order)),
+		of:      make([]int, len(order)),
+	}
+	for newIdx, oldIdx := range order {
+		r.entries[newIdx] = res.Entries[oldIdx]
+		r.of[oldIdx] = newIdx
+	}
+	return r
+}
+
+func entryLens(entries []dictionary.Entry) []int {
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		out[i] = len(e.Words)
+	}
+	return out
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codeword"
+	"repro/internal/dictionary"
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// stub shape: a far conditional branch becomes
+//
+//	bc   !cond, .+stub     ; skip the stub when the branch falls through
+//	lis  r12, hi(target)   ; materialize the absolute unit address
+//	ori  r12, r12, lo(target)
+//	mtctr r12
+//	bctr                   ; bctrl when the original branch linked
+//
+// Unconditional far branches drop the leading bc. This is the paper's
+// "branches requiring larger ranges are modified to load their targets
+// through jump tables" fallback, realized with an inline materialization;
+// it relies on r12 being a code-generator temporary that is never live
+// across basic-block boundaries (true for the synthetic compiler, and the
+// kind of compiler cooperation the paper assumes).
+const (
+	stubRegister  = 12
+	condStubLen   = 5 // instructions
+	uncondStubLen = 4
+)
+
+// stubLen returns the stub length in instructions for a branch word.
+func stubLen(w uint32) int {
+	if ppc.IsConditional(w) {
+		return condStubLen
+	}
+	return uncondStubLen
+}
+
+// canStub reports whether the branch can be rewritten: CTR-decrementing
+// branches cannot (the stub clobbers CTR).
+func canStub(w uint32) bool {
+	i := ppc.Decode(w)
+	if i.Op == ppc.OpBc && i.BO&4 == 0 {
+		return false
+	}
+	return true
+}
+
+// layoutResult fixes every item's stream position.
+type layoutResult struct {
+	itemUnit []int       // per item: unit offset
+	unitOf   map[int]int // original word index (item start) -> unit offset
+	expanded map[int]bool
+	units    int
+}
+
+// layout assigns unit offsets, iterating until every unexpanded branch
+// displacement fits its field. Expansions only grow the program and are
+// never revoked, so the iteration terminates.
+func layout(p *program.Program, an *program.Analysis, items []dictionary.Item,
+	rankOf []int, scheme codeword.Scheme) (*layoutResult, error) {
+	lay := &layoutResult{expanded: map[int]bool{}}
+	raw := scheme.RawInsnUnits()
+	for pass := 0; ; pass++ {
+		if pass > len(items)+2 {
+			return nil, fmt.Errorf("core: branch layout did not converge")
+		}
+		lay.itemUnit = make([]int, len(items))
+		lay.unitOf = make(map[int]int, len(items))
+		u := 0
+		for ii, it := range items {
+			lay.itemUnit[ii] = u
+			lay.unitOf[it.OrigIdx] = u
+			switch {
+			case it.IsCodeword:
+				u += scheme.CodewordUnits(rankOf[it.Entry])
+			case lay.expanded[ii]:
+				u += stubLen(it.Word) * raw
+			default:
+				u += raw
+			}
+		}
+		lay.units = u
+
+		changed := false
+		for ii, it := range items {
+			if it.IsCodeword || lay.expanded[ii] || !ppc.IsRelativeBranch(it.Word) {
+				continue
+			}
+			target, ok := an.Target[it.OrigIdx]
+			if !ok {
+				return nil, fmt.Errorf("core: branch at word %d has no analyzed target", it.OrigIdx)
+			}
+			tu, ok := lay.unitOf[target]
+			if !ok {
+				return nil, fmt.Errorf("core: branch target word %d is not an item start", target)
+			}
+			field := int32(tu - lay.itemUnit[ii])
+			if ppc.FitsField(it.Word, field) {
+				continue
+			}
+			if !canStub(it.Word) {
+				return nil, fmt.Errorf("core: CTR-decrementing branch at word %d needs expansion", it.OrigIdx)
+			}
+			lay.expanded[ii] = true
+			changed = true
+		}
+		if !changed {
+			return lay, nil
+		}
+	}
+}
+
+// emit writes the stream, patching branch fields and expanding stubs, and
+// fills marks and stats.
+func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int, lay *layoutResult) error {
+	an, err := program.Analyze(p)
+	if err != nil {
+		return err
+	}
+	scheme := img.Scheme
+	w := codeword.NewWriter(scheme)
+	rawBitsPer := scheme.RawInsnUnits() * scheme.UnitBits()
+	for ii, it := range items {
+		if w.Units() != lay.itemUnit[ii] {
+			return fmt.Errorf("core: layout drift at item %d: %d != %d", ii, w.Units(), lay.itemUnit[ii])
+		}
+		img.Stats.Items++
+		switch {
+		case it.IsCodeword:
+			rank := rankOf[it.Entry]
+			if err := w.Codeword(rank); err != nil {
+				return err
+			}
+			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkCodeword})
+			img.Stats.CodewordItems++
+			img.Stats.CodewordBits += scheme.CodewordBits(rank)
+			img.Stats.EscapeBits += escapeBits(scheme)
+
+		case ppc.IsRelativeBranch(it.Word):
+			target := an.Target[it.OrigIdx]
+			tu := lay.unitOf[target]
+			if lay.expanded[ii] {
+				if err := emitStub(w, it.Word, img.Base+uint32(tu), scheme); err != nil {
+					return err
+				}
+				img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkStub})
+				img.Stats.StubBranches++
+				img.Stats.RawItems += stubLen(it.Word)
+				img.Stats.RawBits += stubLen(it.Word) * rawBitsPer
+				break
+			}
+			field := int32(tu - lay.itemUnit[ii])
+			nw, err := ppc.SetField(it.Word, field)
+			if err != nil {
+				return fmt.Errorf("core: patching branch at word %d: %v", it.OrigIdx, err)
+			}
+			if err := w.Raw(nw); err != nil {
+				return err
+			}
+			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkBranch})
+			img.Stats.RawItems++
+			img.Stats.RawBits += rawBitsPer
+
+		default:
+			if err := w.Raw(it.Word); err != nil {
+				return err
+			}
+			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkRaw})
+			img.Stats.RawItems++
+			img.Stats.RawBits += rawBitsPer
+		}
+	}
+	if w.Units() != lay.units {
+		return fmt.Errorf("core: final layout drift: %d != %d", w.Units(), lay.units)
+	}
+	img.Stream = w.Bytes()
+	img.Units = w.Units()
+	img.StreamBytes = w.SizeBytes()
+	return nil
+}
+
+// escapeBits is the portion of one codeword spent marking "this is a
+// codeword" (Fig. 9's escape-byte accounting).
+func escapeBits(s codeword.Scheme) int {
+	switch s {
+	case codeword.Baseline, codeword.OneByte:
+		return 8
+	case codeword.Nibble:
+		return 4
+	case codeword.Liao:
+		return 6
+	}
+	return 0
+}
+
+// emitStub writes the register-indirect far-branch sequence.
+func emitStub(w *codeword.Writer, branch uint32, targetAbs uint32, scheme codeword.Scheme) error {
+	i := ppc.Decode(branch)
+	if ppc.IsConditional(branch) {
+		// Invert the condition sense (BO bit 8) and skip the stub body.
+		skip := int32(condStubLen * scheme.RawInsnUnits())
+		inv := ppc.Bc(i.BO^8, i.BI, 0)
+		nw, err := ppc.SetField(inv, skip)
+		if err != nil {
+			return err
+		}
+		if err := w.Raw(nw); err != nil {
+			return err
+		}
+	}
+	hi := int32(int16(uint16(targetAbs >> 16)))
+	lo := int32(targetAbs & 0xFFFF)
+	for _, word := range []uint32{
+		ppc.Lis(stubRegister, hi),
+		ppc.Ori(stubRegister, stubRegister, lo),
+		ppc.Mtctr(stubRegister),
+	} {
+		if err := w.Raw(word); err != nil {
+			return err
+		}
+	}
+	last := ppc.Bctr()
+	if i.LK {
+		last = ppc.Bctrl()
+	}
+	return w.Raw(last)
+}

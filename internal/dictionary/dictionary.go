@@ -1,0 +1,321 @@
+// Package dictionary implements the paper's greedy dictionary construction
+// (§3.1): enumerate candidate instruction sequences inside basic blocks,
+// then repeatedly select the candidate with the largest immediate savings,
+// replacing all of its non-overlapping occurrences, until the codeword
+// space is exhausted or nothing saves bytes.
+//
+// Optimal selection is NP-complete [Storer77]; like the paper we are
+// greedy. Because a candidate's savings only decreases as other selections
+// consume its occurrences (and as codewords get longer with rank), a lazy
+// re-evaluation max-heap finds the true maximum each round without
+// rescanning every candidate.
+package dictionary
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes one dictionary build.
+type Config struct {
+	// MaxEntries bounds the number of dictionary entries (the codeword
+	// space). Zero or negative means unlimited.
+	MaxEntries int
+
+	// MaxEntryLen bounds instructions per entry (the paper sweeps 1..8).
+	MaxEntryLen int
+
+	// CodewordBits returns the encoded size of the codeword that will
+	// represent the rank-th selected entry (rank counts from 0). It must
+	// be non-decreasing in rank for the lazy heap to remain exact.
+	CodewordBits func(rank int) int
+
+	// EntryOverheadBits is the per-entry serialization overhead charged to
+	// the dictionary, beyond the entry's raw instruction bytes.
+	EntryOverheadBits int
+
+	// Compressible marks words that may join a dictionary entry. Relative
+	// branches are excluded by the compressor (§3.2.1); callers may
+	// exclude more.
+	Compressible []bool
+
+	// Leader marks basic-block starts. Sequences must lie within a block:
+	// they may begin at a leader but never span one, so branches can
+	// target codewords but not the middle of an encoded sequence.
+	Leader []bool
+
+	// Strategy selects the entry-selection policy; the default is the
+	// paper's greedy algorithm.
+	Strategy Strategy
+}
+
+// Strategy is the dictionary-entry selection policy.
+type Strategy uint8
+
+// Selection policies.
+const (
+	// Greedy re-evaluates savings after every selection (the paper's
+	// algorithm, §3.1.1).
+	Greedy Strategy = iota
+
+	// StaticOrder ranks candidates once by their initial savings and
+	// selects in that fixed order — the ablation baseline showing what
+	// greedy's re-evaluation buys.
+	StaticOrder
+)
+
+// Entry is one selected dictionary entry.
+type Entry struct {
+	Words []uint32
+	// Uses is the number of occurrences replaced in the program.
+	Uses int
+}
+
+// SizeBytes is the raw size of the entry's instructions.
+func (e Entry) SizeBytes() int { return 4 * len(e.Words) }
+
+// Item is one element of the rewritten program: either an uncompressed
+// instruction or a codeword referencing a dictionary entry.
+type Item struct {
+	IsCodeword bool
+	Entry      int    // valid when IsCodeword
+	Word       uint32 // valid when !IsCodeword
+	OrigIdx    int    // original text word index (sequence start for codewords)
+}
+
+// Result is the outcome of a build.
+type Result struct {
+	Entries []Entry
+	Items   []Item
+
+	// CoveredInsns counts original instructions absorbed into codewords.
+	CoveredInsns int
+}
+
+// Build runs the greedy algorithm over the program text.
+func Build(text []uint32, cfg Config) (*Result, error) {
+	n := len(text)
+	if len(cfg.Compressible) != n || len(cfg.Leader) != n {
+		return nil, fmt.Errorf("dictionary: marker slices must match text length %d", n)
+	}
+	if cfg.MaxEntryLen < 1 {
+		return nil, fmt.Errorf("dictionary: MaxEntryLen %d", cfg.MaxEntryLen)
+	}
+	if cfg.CodewordBits == nil {
+		return nil, fmt.Errorf("dictionary: CodewordBits required")
+	}
+	maxEntries := cfg.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = int(^uint(0) >> 1)
+	}
+
+	cands := enumerate(text, cfg)
+	covered := make([]bool, n)
+	res := &Result{}
+	coverEntry := make([]int, n)
+	for i := range coverEntry {
+		coverEntry[i] = -1
+	}
+
+	// selectCand replaces all non-overlapping free occurrences of c and
+	// records it as the entry with the given rank. It reports whether
+	// anything was replaced.
+	selectCand := func(c *cand, rank int) bool {
+		uses := 0
+		last := -1
+		for _, p := range c.pos {
+			if p < last+1 {
+				continue
+			}
+			if !free(covered, p, c.k) {
+				continue
+			}
+			for j := p; j < p+c.k; j++ {
+				covered[j] = true
+			}
+			coverEntry[p] = rank
+			uses++
+			last = p + c.k - 1
+		}
+		if uses == 0 {
+			return false
+		}
+		res.Entries = append(res.Entries, Entry{Words: c.words, Uses: uses})
+		res.CoveredInsns += uses * c.k
+		return true
+	}
+
+	rank := 0
+	switch cfg.Strategy {
+	case Greedy:
+		h := &candHeap{}
+		heap.Init(h)
+		for _, c := range cands {
+			c.val = value(c, covered, cfg, rank)
+			if c.val > 0 {
+				heap.Push(h, c)
+			}
+		}
+		for h.Len() > 0 && rank < maxEntries {
+			c := heap.Pop(h).(*cand)
+			v := value(c, covered, cfg, rank)
+			if v <= 0 {
+				continue // stale and now worthless; drop
+			}
+			if v < c.val {
+				// Stale: re-queue with the refreshed value. Values only
+				// ever decrease, so when a popped candidate's value is
+				// current it really is the maximum.
+				c.val = v
+				heap.Push(h, c)
+				continue
+			}
+			if selectCand(c, rank) {
+				rank++
+			}
+		}
+	case StaticOrder:
+		for _, c := range cands {
+			c.val = value(c, covered, cfg, 0)
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].val > cands[j].val })
+		for _, c := range cands {
+			if rank >= maxEntries {
+				break
+			}
+			if value(c, covered, cfg, rank) <= 0 {
+				continue
+			}
+			if selectCand(c, rank) {
+				rank++
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dictionary: unknown strategy %d", cfg.Strategy)
+	}
+
+	// Assemble the rewritten item sequence.
+	for i := 0; i < n; i++ {
+		if e := coverEntry[i]; e >= 0 {
+			res.Items = append(res.Items, Item{IsCodeword: true, Entry: e, OrigIdx: i})
+			continue
+		}
+		if covered[i] {
+			continue // interior of a replaced sequence
+		}
+		res.Items = append(res.Items, Item{Word: text[i], OrigIdx: i})
+	}
+	return res, nil
+}
+
+// cand is one candidate sequence.
+type cand struct {
+	words  []uint32
+	k      int    // sequence length in instructions
+	pos    []int  // sorted occurrence start indices
+	val    int    // cached savings in bits
+	idx    int    // heap index
+	key    string // byte key, for deterministic ordering
+	serial int    // tie-break rank
+}
+
+// enumerate collects every compressible sequence of length 1..MaxEntryLen
+// that lies within a basic block.
+func enumerate(text []uint32, cfg Config) []*cand {
+	byKey := make(map[string]*cand)
+	var keyBuf []byte
+	for i := range text {
+		if !cfg.Compressible[i] {
+			continue
+		}
+		keyBuf = keyBuf[:0]
+		for k := 1; k <= cfg.MaxEntryLen && i+k <= len(text); k++ {
+			j := i + k - 1
+			if !cfg.Compressible[j] {
+				break
+			}
+			if k > 1 && cfg.Leader[j] {
+				break // would span into the next basic block
+			}
+			var wb [4]byte
+			binary.BigEndian.PutUint32(wb[:], text[j])
+			keyBuf = append(keyBuf, wb[:]...)
+			key := string(keyBuf)
+			c := byKey[key]
+			if c == nil {
+				c = &cand{k: k, words: append([]uint32(nil), text[i:i+k]...)}
+				byKey[key] = c
+			}
+			c.pos = append(c.pos, i)
+		}
+	}
+	out := make([]*cand, 0, len(byKey))
+	for key, c := range byKey {
+		c.key = key
+		out = append(out, c)
+	}
+	// Deterministic total order: map iteration is random, and the greedy
+	// loop must break savings ties identically on every run (otherwise
+	// parameter sweeps like Fig. 5 jitter).
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	for serial, c := range out {
+		c.serial = serial
+	}
+	return out
+}
+
+// free reports whether words p..p+k-1 are all uncovered.
+func free(covered []bool, p, k int) bool {
+	for j := p; j < p+k; j++ {
+		if covered[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// value computes the candidate's current savings in bits: each replaced
+// occurrence trades 32·k instruction bits for one codeword, and the
+// dictionary must store the sequence once plus serialization overhead.
+func value(c *cand, covered []bool, cfg Config, rank int) int {
+	uses := 0
+	last := -1
+	for _, p := range c.pos {
+		if p < last+1 {
+			continue
+		}
+		if !free(covered, p, c.k) {
+			continue
+		}
+		uses++
+		last = p + c.k - 1
+	}
+	if uses == 0 {
+		return 0
+	}
+	cw := cfg.CodewordBits(rank)
+	return uses*(32*c.k-cw) - (32*c.k + cfg.EntryOverheadBits)
+}
+
+// candHeap is a max-heap over cached savings.
+type candHeap []*cand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].val != h[j].val {
+		return h[i].val > h[j].val
+	}
+	return h[i].serial < h[j].serial
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *candHeap) Push(x interface{}) { c := x.(*cand); c.idx = len(*h); *h = append(*h, c) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}

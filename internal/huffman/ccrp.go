@@ -1,0 +1,108 @@
+package huffman
+
+import "fmt"
+
+// CCRP models the Compressed Code RISC Processor [Wolfe92][Wolfe94]: a
+// single Huffman code trained on the whole program's instruction bytes
+// compresses each cache line independently; compressed lines are padded to
+// byte boundaries (the cache refill engine needs byte-addressable line
+// starts); and a Line Address Table maps each uncompressed line address to
+// its compressed location. The paper's §2.3 criticism — byte-granularity
+// coding plus LAT overhead — falls straight out of this model.
+type CCRP struct {
+	LineSize int // uncompressed bytes per cache line (Wolfe used 32)
+
+	// LATBytesPerLine models the compact LAT encoding: Wolfe's scheme
+	// stores one full address per group of 8 lines plus short offsets,
+	// roughly 3 bytes per line.
+	LATBytesPerLine float64
+}
+
+// DefaultCCRP is the configuration used for the Ext. A comparison.
+func DefaultCCRP() CCRP { return CCRP{LineSize: 32, LATBytesPerLine: 3} }
+
+// Result summarizes a CCRP compression run.
+type CCRPResult struct {
+	OriginalBytes   int
+	CompressedBytes int // padded compressed lines
+	LATBytes        int
+	Lines           int
+	CodeTableBytes  int // shipped dictionary: code lengths per symbol
+}
+
+// TotalBytes includes line data, LAT and the code table.
+func (r CCRPResult) TotalBytes() int { return r.CompressedBytes + r.LATBytes + r.CodeTableBytes }
+
+// Ratio is compressed/original.
+func (r CCRPResult) Ratio() float64 {
+	if r.OriginalBytes == 0 {
+		return 0
+	}
+	return float64(r.TotalBytes()) / float64(r.OriginalBytes)
+}
+
+// Compress runs the CCRP model over the program text bytes.
+func (c CCRP) Compress(text []byte) (CCRPResult, error) {
+	if c.LineSize <= 0 {
+		return CCRPResult{}, fmt.Errorf("huffman: bad line size %d", c.LineSize)
+	}
+	var freq [256]int64
+	for _, b := range text {
+		freq[b]++
+	}
+	code, err := Build(&freq)
+	if err != nil {
+		return CCRPResult{}, err
+	}
+	res := CCRPResult{
+		OriginalBytes:  len(text),
+		CodeTableBytes: 256, // one code length byte per symbol
+	}
+	for off := 0; off < len(text); off += c.LineSize {
+		end := off + c.LineSize
+		if end > len(text) {
+			end = len(text)
+		}
+		line := text[off:end]
+		bits := code.EncodedBits(line)
+		bytes := (bits + 7) / 8 // pad each line to a byte boundary
+		if bytes > len(line) {
+			bytes = len(line) // a line never stored expanded (store raw)
+		}
+		res.CompressedBytes += bytes
+		res.Lines++
+	}
+	res.LATBytes = int(float64(res.Lines) * c.LATBytesPerLine)
+	return res, nil
+}
+
+// Verify round-trips every line through the real encoder/decoder to show
+// the model's sizes are achievable, not just estimated.
+func (c CCRP) Verify(text []byte) error {
+	var freq [256]int64
+	for _, b := range text {
+		freq[b]++
+	}
+	code, err := Build(&freq)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(text); off += c.LineSize {
+		end := off + c.LineSize
+		if end > len(text) {
+			end = len(text)
+		}
+		line := text[off:end]
+		enc := code.Encode(line)
+		dec, err := code.Decode(enc, len(line))
+		if err != nil {
+			return fmt.Errorf("huffman: line at %d: %v", off, err)
+		}
+		for i := range line {
+			if dec[i] != line[i] {
+				return fmt.Errorf("huffman: line at %d differs at byte %d", off, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package huffman implements a canonical Huffman byte coder and the CCRP
+// model of Wolfe & Chanin [Wolfe92]: instruction bytes are Huffman-encoded
+// per cache line, lines are padded to byte boundaries, and a Line Address
+// Table (LAT) maps uncompressed line addresses to compressed locations.
+// This is the related-work comparator of §2.3.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// maxCodeLen bounds canonical code lengths so codes fit comfortably in a
+// uint64 accumulator. Program byte distributions stay far below this.
+const maxCodeLen = 56
+
+// Code is a canonical Huffman code table.
+type Code struct {
+	Lens  [256]uint8  // code length per symbol, 0 = absent
+	Codes [256]uint64 // canonical code value per symbol
+}
+
+// hnode is a Huffman tree node; sym is -1 for internal nodes.
+type hnode struct {
+	weight      int64
+	sym         int
+	left, right int
+}
+
+// Build constructs a canonical Huffman code from byte frequencies.
+func Build(freq *[256]int64) (*Code, error) {
+	var nodes []hnode
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, hnode{weight: f, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	if len(live) == 0 {
+		return nil, errors.New("huffman: empty input")
+	}
+	c := &Code{}
+	if len(live) == 1 {
+		// Degenerate alphabet: one symbol, one-bit code.
+		c.Lens[nodes[live[0]].sym] = 1
+		assignCanonical(c)
+		return c, nil
+	}
+	h := &nodeHeap{nodes: &nodes, idx: live}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		nodes = append(nodes, hnode{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+		heap.Push(h, len(nodes)-1)
+	}
+	root := h.idx[0]
+	// Depth-first code length assignment.
+	type visit struct {
+		n     int
+		depth uint8
+	}
+	stack := []visit{{root, 0}}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[v.n]
+		if nd.sym >= 0 {
+			if v.depth == 0 {
+				v.depth = 1
+			}
+			if v.depth > maxCodeLen {
+				return nil, fmt.Errorf("huffman: code length %d exceeds limit", v.depth)
+			}
+			c.Lens[nd.sym] = v.depth
+			continue
+		}
+		stack = append(stack, visit{nd.left, v.depth + 1}, visit{nd.right, v.depth + 1})
+	}
+	assignCanonical(c)
+	return c, nil
+}
+
+// nodeHeap orders node indices by weight (ties by index for determinism).
+type nodeHeap struct {
+	nodes *[]hnode
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	na, nb := (*h.nodes)[a], (*h.nodes)[b]
+	if na.weight != nb.weight {
+		return na.weight < nb.weight
+	}
+	return a < b
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// assignCanonical fills Codes from Lens using the canonical ordering
+// (shorter codes first, ties by symbol value).
+func assignCanonical(c *Code) {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var syms []sl
+	for s, l := range c.Lens {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint64(0)
+	prevLen := uint8(0)
+	for _, s := range syms {
+		code <<= s.l - prevLen
+		c.Codes[s.sym] = code
+		code++
+		prevLen = s.l
+	}
+}
+
+// EncodedBits returns the encoded size of data in bits under the code.
+func (c *Code) EncodedBits(data []byte) int {
+	bits := 0
+	for _, b := range data {
+		bits += int(c.Lens[b])
+	}
+	return bits
+}
+
+// Encode compresses data (MSB-first bit packing).
+func (c *Code) Encode(data []byte) []byte {
+	var out []byte
+	var acc uint64
+	var nacc uint
+	for _, b := range data {
+		l := uint(c.Lens[b])
+		acc = acc<<l | c.Codes[b]
+		nacc += l
+		for nacc >= 8 {
+			out = append(out, byte(acc>>(nacc-8)))
+			nacc -= 8
+		}
+	}
+	if nacc > 0 {
+		out = append(out, byte(acc<<(8-nacc)))
+	}
+	return out
+}
+
+// Decode expands exactly n symbols from the encoded stream.
+func (c *Code) Decode(enc []byte, n int) ([]byte, error) {
+	// Build a canonical decode table: for each length, the first code and
+	// the symbol list in canonical order.
+	type lenClass struct {
+		first uint64
+		syms  []byte
+	}
+	classes := map[uint8]*lenClass{}
+	var lens []uint8
+	{
+		type sl struct {
+			sym int
+			l   uint8
+		}
+		var syms []sl
+		for s, l := range c.Lens {
+			if l > 0 {
+				syms = append(syms, sl{s, l})
+			}
+		}
+		sort.Slice(syms, func(i, j int) bool {
+			if syms[i].l != syms[j].l {
+				return syms[i].l < syms[j].l
+			}
+			return syms[i].sym < syms[j].sym
+		})
+		code := uint64(0)
+		prevLen := uint8(0)
+		for _, s := range syms {
+			code <<= s.l - prevLen
+			cl := classes[s.l]
+			if cl == nil {
+				cl = &lenClass{first: code}
+				classes[s.l] = cl
+				lens = append(lens, s.l)
+			}
+			cl.syms = append(cl.syms, byte(s.sym))
+			code++
+			prevLen = s.l
+		}
+	}
+	out := make([]byte, 0, n)
+	var acc uint64
+	var nacc uint
+	pos := 0
+	for len(out) < n {
+		matched := false
+		for _, l := range lens {
+			for nacc < uint(l) {
+				if pos >= len(enc) {
+					if len(out) == n {
+						return out, nil
+					}
+					return nil, errors.New("huffman: truncated stream")
+				}
+				acc = acc<<8 | uint64(enc[pos])
+				pos++
+				nacc += 8
+			}
+			v := acc >> (nacc - uint(l))
+			cl := classes[l]
+			if v >= cl.first && v < cl.first+uint64(len(cl.syms)) {
+				out = append(out, cl.syms[v-cl.first])
+				acc &= 1<<(nacc-uint(l)) - 1
+				nacc -= uint(l)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, errors.New("huffman: invalid code")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/synth"
+)
+
+func freqOf(data []byte) *[256]int64 {
+	var f [256]int64
+	for _, b := range data {
+		f[b]++
+	}
+	return &f
+}
+
+func TestBuildEmptyErrors(t *testing.T) {
+	var f [256]int64
+	if _, err := Build(&f); err == nil {
+		t.Fatal("empty frequency table accepted")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	data := bytes.Repeat([]byte{42}, 100)
+	c, err := Build(freqOf(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lens[42] != 1 {
+		t.Fatalf("single symbol got %d-bit code", c.Lens[42])
+	}
+	enc := c.Encode(data)
+	if len(enc) != 13 { // 100 bits -> 13 bytes
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+	dec, err := c.Decode(enc, 100)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	// Canonical code lengths must satisfy Kraft with equality for a full
+	// tree (>= 2 symbols).
+	data := []byte("abracadabra alakazam")
+	c, err := Build(freqOf(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, l := range c.Lens {
+		if l > 0 {
+			sum += 1 / float64(uint64(1)<<l)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("Kraft sum %f", sum)
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	c, err := Build(freqOf(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 256; a++ {
+		if c.Lens[a] == 0 {
+			continue
+		}
+		for b := 0; b < 256; b++ {
+			if a == b || c.Lens[b] == 0 || c.Lens[a] > c.Lens[b] {
+				continue
+			}
+			// code a must not prefix code b.
+			if c.Codes[b]>>(c.Lens[b]-c.Lens[a]) == c.Codes[a] {
+				t.Fatalf("code of %d prefixes code of %d", a, b)
+			}
+		}
+	}
+}
+
+func TestOptimalityAgainstSkew(t *testing.T) {
+	// A strongly skewed distribution must give the hot symbol the
+	// shortest code.
+	var f [256]int64
+	f['x'] = 1000
+	f['y'] = 10
+	f['z'] = 10
+	f['w'] = 1
+	c, err := Build(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lens['x'] != 1 {
+		t.Fatalf("hot symbol has %d-bit code", c.Lens['x'])
+	}
+	if c.Lens['w'] < c.Lens['y'] {
+		t.Fatal("rare symbol shorter than common one")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint16, alpha uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := int(alpha)%255 + 1
+		data := make([]byte, int(n)%4000+1)
+		for i := range data {
+			data[i] = byte(rng.Intn(a))
+		}
+		c, err := Build(freqOf(data))
+		if err != nil {
+			return false
+		}
+		enc := c.Encode(data)
+		if len(enc)*8 < c.EncodedBits(data) {
+			return false
+		}
+		dec, err := c.Decode(enc, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	var f [256]int64
+	f['a'], f['b'], f['c'] = 5, 3, 1
+	c, err := Build(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode([]byte{}, 3); err == nil {
+		t.Fatal("empty stream decoded 3 symbols")
+	}
+}
+
+func TestCCRPOnBenchmark(t *testing.T) {
+	p, err := synth.Generate("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.TextBytes()
+	model := DefaultCCRP()
+	res, err := model.Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != (len(text)+31)/32 {
+		t.Fatalf("lines %d for %d bytes", res.Lines, len(text))
+	}
+	if res.Ratio() <= 0 || res.Ratio() >= 1.1 {
+		t.Fatalf("CCRP ratio %.3f implausible", res.Ratio())
+	}
+	if res.LATBytes == 0 || res.CodeTableBytes == 0 {
+		t.Fatal("overheads not accounted")
+	}
+	t.Logf("li: CCRP ratio %.3f (lines %.3f, LAT %.3f of original)",
+		res.Ratio(), float64(res.CompressedBytes)/float64(len(text)),
+		float64(res.LATBytes)/float64(len(text)))
+	if err := model.Verify(text); err != nil {
+		t.Fatalf("per-line verify: %v", err)
+	}
+}
+
+func TestCCRPLineNeverExpands(t *testing.T) {
+	// Adversarial text: uniform bytes compress poorly; lines must be
+	// stored raw rather than expanded.
+	rng := rand.New(rand.NewSource(9))
+	text := make([]byte, 4096)
+	for i := range text {
+		text[i] = byte(rng.Intn(256))
+	}
+	res, err := DefaultCCRP().Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressedBytes > len(text) {
+		t.Fatalf("lines expanded: %d > %d", res.CompressedBytes, len(text))
+	}
+}
+
+func TestCCRPBadConfig(t *testing.T) {
+	if _, err := (CCRP{LineSize: 0}).Compress([]byte{1}); err == nil {
+		t.Fatal("zero line size accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package lzw implements the Unix compress(1) algorithm family: LZW with
+// variable code width growing from 9 to 16 bits and a dictionary reset
+// when compression degrades. It is the adaptive-dictionary comparator of
+// the paper's Figure 11 ("we extracted the instruction bytes from the
+// benchmarks and compressed them with Unix Compress").
+//
+// The implementation is self-contained (no compress/lzw dependency) so the
+// reproduction owns its baseline end to end.
+package lzw
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	minBits   = 9
+	maxBits   = 16
+	clearCode = 256 // emitted to reset the dictionary
+	firstCode = 257
+)
+
+// bitWriter packs variable-width codes LSB-first (as compress does).
+type bitWriter struct {
+	out  []byte
+	acc  uint32
+	nacc uint
+}
+
+func (w *bitWriter) write(code, bits uint32) {
+	w.acc |= code << w.nacc
+	w.nacc += uint(bits)
+	for w.nacc >= 8 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.out
+}
+
+// bitReader unpacks variable-width codes LSB-first.
+type bitReader struct {
+	in   []byte
+	pos  int
+	acc  uint32
+	nacc uint
+}
+
+func (r *bitReader) read(bits uint) (uint32, error) {
+	for r.nacc < bits {
+		if r.pos >= len(r.in) {
+			return 0, errors.New("lzw: truncated stream")
+		}
+		r.acc |= uint32(r.in[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+	v := r.acc & (1<<bits - 1)
+	r.acc >>= bits
+	r.nacc -= bits
+	return v, nil
+}
+
+// Compress encodes data with LZW, growing code widths 9..16 bits and
+// emitting a clear code whenever the table fills and the recent
+// compression ratio worsens.
+func Compress(data []byte) []byte {
+	w := &bitWriter{}
+	table := make(map[string]uint32, 1<<12)
+	reset := func() uint32 {
+		for k := range table {
+			delete(table, k)
+		}
+		for i := 0; i < 256; i++ {
+			table[string([]byte{byte(i)})] = uint32(i)
+		}
+		return firstCode
+	}
+	next := reset()
+	bits := uint32(minBits)
+
+	if len(data) == 0 {
+		return w.flush()
+	}
+	// checkGap controls how often the adaptive reset is considered.
+	const checkGap = 4096
+	lastCheck := 0
+	lastOutLen := 0
+
+	cur := string(data[:1])
+	for i := 1; i < len(data); i++ {
+		c := data[i]
+		// NB: string(c) would UTF-8-encode the byte; splice it verbatim.
+		ext := cur + string([]byte{c})
+		if _, ok := table[ext]; ok {
+			cur = ext
+			continue
+		}
+		w.write(table[cur], bits)
+		if next < 1<<maxBits {
+			table[ext] = next
+			next++
+			if next == 1<<bits+1 && bits < maxBits {
+				bits++
+			}
+		} else if i-lastCheck > checkGap {
+			// Table full: reset when output is growing faster than input
+			// consumed since the last check (compression degrading).
+			outGrew := len(w.out) - lastOutLen
+			if outGrew > (i-lastCheck)*9/10 {
+				w.write(clearCode, bits)
+				next = reset()
+				bits = minBits
+			}
+			lastCheck = i
+			lastOutLen = len(w.out)
+		}
+		cur = string([]byte{c})
+	}
+	w.write(table[cur], bits)
+	return w.flush()
+}
+
+// Decompress inverts Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r := &bitReader{in: data}
+	var out []byte
+
+	var table [][]byte
+	reset := func() {
+		table = table[:0]
+		for i := 0; i < 256; i++ {
+			table = append(table, []byte{byte(i)})
+		}
+		table = append(table, nil) // clear code placeholder
+	}
+	reset()
+	bits := uint(minBits)
+
+	var prev []byte
+	for {
+		// The encoder widens codes after inserting entry 1<<bits; the
+		// decoder's table runs one entry behind, so it must widen when its
+		// table reaches 1<<bits, before reading the next code.
+		for len(table) >= 1<<bits && bits < maxBits {
+			bits++
+		}
+		code, err := r.read(bits)
+		if err != nil {
+			// Natural end of stream.
+			return out, nil
+		}
+		if code == clearCode {
+			reset()
+			bits = minBits
+			prev = nil
+			continue
+		}
+		var cur []byte
+		switch {
+		case int(code) < len(table) && code != clearCode:
+			cur = table[code]
+		case int(code) == len(table) && prev != nil:
+			// The KwKwK case.
+			cur = append(append([]byte{}, prev...), prev[0])
+		default:
+			return nil, fmt.Errorf("lzw: bad code %d (table %d)", code, len(table))
+		}
+		out = append(out, cur...)
+		if prev != nil && len(table) < 1<<maxBits {
+			entry := append(append([]byte{}, prev...), cur[0])
+			table = append(table, entry)
+		}
+		prev = cur
+	}
+}
+
+// Ratio is the compressed/original size ratio for data.
+func Ratio(data []byte) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	return float64(len(Compress(data))) / float64(len(data))
+}

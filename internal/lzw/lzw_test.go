@@ -1,0 +1,135 @@
+package lzw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/synth"
+)
+
+func roundTrip(t *testing.T, data []byte) {
+	t.Helper()
+	c := Compress(data)
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(d, data) {
+		i := 0
+		for i < len(d) && i < len(data) && d[i] == data[i] {
+			i++
+		}
+		t.Fatalf("round trip failed: lengths %d vs %d, first diff at %d", len(d), len(data), i)
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{255},
+		[]byte("a"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abcabcabcabcabcabc"),
+		[]byte("to be or not to be that is the question"),
+		bytes.Repeat([]byte{1, 2, 3, 4}, 1000),
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestKwKwKCase(t *testing.T) {
+	// The classic corner: "ababab..." forces the code-equals-table-size
+	// path immediately.
+	roundTrip(t, []byte("abababababababababab"))
+	roundTrip(t, bytes.Repeat([]byte("ab"), 5000))
+}
+
+func TestWidthGrowth(t *testing.T) {
+	// Force the table past several width bumps with low-redundancy data.
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 300_000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	roundTrip(t, data)
+}
+
+func TestTableFullAndReset(t *testing.T) {
+	// Data whose statistics change midway: repetitive, then random, then
+	// repetitive again — exercising the adaptive clear-code path.
+	rng := rand.New(rand.NewSource(4))
+	var data []byte
+	data = append(data, bytes.Repeat([]byte("the quick brown fox "), 20_000)...)
+	noise := make([]byte, 400_000)
+	for i := range noise {
+		noise[i] = byte(rng.Intn(256))
+	}
+	data = append(data, noise...)
+	data = append(data, bytes.Repeat([]byte("jumps over the lazy dog "), 20_000)...)
+	roundTrip(t, data)
+}
+
+func TestCompressesRedundantData(t *testing.T) {
+	data := bytes.Repeat([]byte("instruction stream "), 2000)
+	if r := Ratio(data); r > 0.2 {
+		t.Errorf("ratio %.3f on highly redundant data", r)
+	}
+	rng := rand.New(rand.NewSource(5))
+	noise := make([]byte, 64_000)
+	for i := range noise {
+		noise[i] = byte(rng.Intn(256))
+	}
+	if r := Ratio(noise); r < 1.0 {
+		t.Logf("ratio %.3f on noise (expected near or above 1)", r)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	// A stream whose first code is beyond the virgin table must error.
+	w := &bitWriter{}
+	w.write(300, 9) // code 300 > 257 with empty table
+	if _, err := Decompress(w.flush()); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
+
+func TestRatioOnBenchmarkText(t *testing.T) {
+	// Fig. 11's comparator: Unix compress on raw instruction bytes should
+	// land in the same neighborhood as the paper (roughly half the size).
+	p, err := synth.Generate("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Ratio(p.TextBytes())
+	t.Logf("ijpeg instruction bytes: LZW ratio %.3f", r)
+	if r < 0.05 || r > 0.95 {
+		t.Errorf("LZW ratio %.3f implausible for instruction bytes", r)
+	}
+	roundTrip(t, p.TextBytes())
+}
+
+// TestRoundTripQuick: random strings over small and large alphabets.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint16, alphabet uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := int(alphabet)%255 + 1
+		data := make([]byte, int(n)%5000)
+		for i := range data {
+			data[i] = byte(rng.Intn(a))
+		}
+		c := Compress(data)
+		d, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(d, data)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,539 @@
+// Package machine executes PowerPC-subset programs. It provides the CPU
+// state and interpreter, a sparse memory, and the fetch-frontend interface
+// of the paper's Figure 3: the same execution core runs either from normal
+// program memory or from a compressed instruction stream expanded through a
+// dictionary in the decode stage.
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// Syscall numbers (passed in r0; sc transfers to the host).
+const (
+	SysExit    = 0 // r3 = exit status
+	SysPutchar = 1 // r3 = byte
+	SysPutint  = 2 // r3 = signed integer, printed in decimal
+	SysPuts    = 3 // r3 = address of NUL-terminated string
+)
+
+// Memory layout for stacks.
+const (
+	stackTop  = 0x7FF0_0000
+	stackSize = 1 << 20
+	heapExtra = 1 << 16 // slack beyond the data image for generated code
+)
+
+// Stats accumulates execution counters.
+type Stats struct {
+	Steps         int64 // instructions executed
+	TakenBranches int64
+	Syscalls      int64
+	MemFetches    int64 // fetches that touched program memory
+	FetchedBytes  int64 // program-memory bytes fetched
+	Expanded      int64 // instructions produced by dictionary expansion (compressed mode)
+}
+
+// CPU is the architectural state plus the fetch frontend.
+type CPU struct {
+	GPR [32]uint32
+	LR  uint32
+	CTR uint32
+	CR  uint32 // bit 0 (MSB) = CR field 0 bit LT, IBM numbering
+
+	Mem *Memory
+
+	fe  Frontend
+	out bytes.Buffer
+
+	// TraceFetch, when non-nil, receives the memory traffic of every fetch
+	// (for cache simulation).
+	TraceFetch func(addr uint32, nbytes int)
+
+	// TraceExec, when non-nil, receives every executed instruction with
+	// its fetch address (PC space of the active frontend).
+	TraceExec func(cia uint32, word uint32)
+
+	Stats Stats
+
+	exited bool
+	status int32
+}
+
+// New creates a CPU over the given memory and frontend.
+func New(mem *Memory, fe Frontend) *CPU {
+	return &CPU{Mem: mem, fe: fe}
+}
+
+// NewForProgram maps a linked program into a fresh machine with the normal
+// (uncompressed) fetch path, ready to Run.
+func NewForProgram(p *program.Program) (*CPU, error) {
+	mem := NewMemory()
+	if err := mem.Map("text", p.TextBase, WordsToBytes(p.Text)); err != nil {
+		return nil, err
+	}
+	data := make([]byte, len(p.Data)+heapExtra)
+	copy(data, p.Data)
+	if err := mem.Map("data", p.DataBase, data); err != nil {
+		return nil, err
+	}
+	if err := mem.Map("stack", stackTop-stackSize, make([]byte, stackSize)); err != nil {
+		return nil, err
+	}
+	fe := NewNormalFrontend(mem, p.TextBase, len(p.Text))
+	cpu := New(mem, fe)
+	if err := fe.Reset(p.EntryAddr()); err != nil {
+		return nil, err
+	}
+	cpu.GPR[1] = stackTop - 64 // stack pointer with a red zone
+	return cpu, nil
+}
+
+// Output returns everything the program printed through syscalls.
+func (c *CPU) Output() []byte { return c.out.Bytes() }
+
+// Frontend returns the fetch frontend driving this CPU.
+func (c *CPU) Frontend() Frontend { return c.fe }
+
+// Exited reports whether the program performed SysExit, and its status.
+func (c *CPU) Exited() (bool, int32) { return c.exited, c.status }
+
+// Run executes until SysExit or the step budget is exhausted. It returns
+// the exit status. Exceeding the budget or any architectural fault is an
+// error.
+func (c *CPU) Run(maxSteps int64) (int32, error) {
+	for c.Stats.Steps < maxSteps {
+		if err := c.Step(); err != nil {
+			return 0, err
+		}
+		if c.exited {
+			return c.status, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
+}
+
+// Step fetches and executes one instruction.
+func (c *CPU) Step() error {
+	fi, err := c.fe.Fetch()
+	if err != nil {
+		return err
+	}
+	c.Stats.Steps++
+	if fi.MemBytes > 0 {
+		c.Stats.MemFetches++
+		c.Stats.FetchedBytes += int64(fi.MemBytes)
+		if c.TraceFetch != nil {
+			c.TraceFetch(fi.MemAddr, fi.MemBytes)
+		}
+	} else {
+		c.Stats.Expanded++
+	}
+	if fi.MemBytes2 > 0 {
+		c.Stats.MemFetches++
+		c.Stats.FetchedBytes += int64(fi.MemBytes2)
+		if c.TraceFetch != nil {
+			c.TraceFetch(fi.MemAddr2, fi.MemBytes2)
+		}
+	}
+	if c.TraceExec != nil {
+		c.TraceExec(fi.CIA, fi.Word)
+	}
+	return c.exec(fi)
+}
+
+func (c *CPU) exec(fi FetchInfo) error {
+	i := ppc.Decode(fi.Word)
+	g := &c.GPR
+	switch i.Op {
+	case ppc.OpInvalid:
+		return fmt.Errorf("machine: illegal instruction %08x at %#x", fi.Word, fi.CIA)
+
+	case ppc.OpAddi:
+		g[i.RT] = c.regOrZero(i.RA) + uint32(i.Imm)
+	case ppc.OpAddis:
+		g[i.RT] = c.regOrZero(i.RA) + uint32(i.Imm)<<16
+	case ppc.OpOri:
+		g[i.RA] = g[i.RT] | uint32(uint16(i.Imm))
+	case ppc.OpOris:
+		g[i.RA] = g[i.RT] | uint32(uint16(i.Imm))<<16
+	case ppc.OpAndiRc:
+		g[i.RA] = g[i.RT] & uint32(uint16(i.Imm))
+		c.setCR0(g[i.RA])
+	case ppc.OpXori:
+		g[i.RA] = g[i.RT] ^ uint32(uint16(i.Imm))
+
+	case ppc.OpCmpwi:
+		c.setCRSigned(i.CRF, int32(g[i.RA]), i.Imm)
+	case ppc.OpCmplwi:
+		c.setCRUnsigned(i.CRF, g[i.RA], uint32(uint16(i.Imm)))
+	case ppc.OpCmpw:
+		c.setCRSigned(i.CRF, int32(g[i.RA]), int32(g[i.RB]))
+	case ppc.OpCmplw:
+		c.setCRUnsigned(i.CRF, g[i.RA], g[i.RB])
+
+	case ppc.OpLwz:
+		v, err := c.Mem.Load32(c.regOrZero(i.RA) + uint32(i.Imm))
+		if err != nil {
+			return err
+		}
+		g[i.RT] = v
+	case ppc.OpLbz:
+		v, err := c.Mem.Load8(c.regOrZero(i.RA) + uint32(i.Imm))
+		if err != nil {
+			return err
+		}
+		g[i.RT] = uint32(v)
+	case ppc.OpLhz:
+		v, err := c.Mem.Load16(c.regOrZero(i.RA) + uint32(i.Imm))
+		if err != nil {
+			return err
+		}
+		g[i.RT] = uint32(v)
+	case ppc.OpStw:
+		if err := c.Mem.Store32(c.regOrZero(i.RA)+uint32(i.Imm), g[i.RT]); err != nil {
+			return err
+		}
+	case ppc.OpStb:
+		if err := c.Mem.Store8(c.regOrZero(i.RA)+uint32(i.Imm), uint8(g[i.RT])); err != nil {
+			return err
+		}
+	case ppc.OpSth:
+		if err := c.Mem.Store16(c.regOrZero(i.RA)+uint32(i.Imm), uint16(g[i.RT])); err != nil {
+			return err
+		}
+	case ppc.OpStwu:
+		ea := g[i.RA] + uint32(i.Imm)
+		if err := c.Mem.Store32(ea, g[i.RT]); err != nil {
+			return err
+		}
+		g[i.RA] = ea
+	case ppc.OpLmw:
+		ea := c.regOrZero(i.RA) + uint32(i.Imm)
+		for r := int(i.RT); r <= 31; r++ {
+			v, err := c.Mem.Load32(ea)
+			if err != nil {
+				return err
+			}
+			g[r] = v
+			ea += 4
+		}
+	case ppc.OpStmw:
+		ea := c.regOrZero(i.RA) + uint32(i.Imm)
+		for r := int(i.RT); r <= 31; r++ {
+			if err := c.Mem.Store32(ea, g[r]); err != nil {
+				return err
+			}
+			ea += 4
+		}
+	case ppc.OpLwzx:
+		v, err := c.Mem.Load32(c.regOrZero(i.RA) + g[i.RB])
+		if err != nil {
+			return err
+		}
+		g[i.RT] = v
+	case ppc.OpStwx:
+		if err := c.Mem.Store32(c.regOrZero(i.RA)+g[i.RB], g[i.RT]); err != nil {
+			return err
+		}
+	case ppc.OpLbzx:
+		v, err := c.Mem.Load8(c.regOrZero(i.RA) + g[i.RB])
+		if err != nil {
+			return err
+		}
+		g[i.RT] = uint32(v)
+	case ppc.OpLhzx:
+		v, err := c.Mem.Load16(c.regOrZero(i.RA) + g[i.RB])
+		if err != nil {
+			return err
+		}
+		g[i.RT] = uint32(v)
+	case ppc.OpStbx:
+		if err := c.Mem.Store8(c.regOrZero(i.RA)+g[i.RB], uint8(g[i.RT])); err != nil {
+			return err
+		}
+	case ppc.OpSthx:
+		if err := c.Mem.Store16(c.regOrZero(i.RA)+g[i.RB], uint16(g[i.RT])); err != nil {
+			return err
+		}
+
+	case ppc.OpAdd:
+		g[i.RT] = g[i.RA] + g[i.RB]
+		if i.Rc {
+			c.setCR0(g[i.RT])
+		}
+	case ppc.OpSubf:
+		g[i.RT] = g[i.RB] - g[i.RA]
+		if i.Rc {
+			c.setCR0(g[i.RT])
+		}
+	case ppc.OpNeg:
+		g[i.RT] = -g[i.RA]
+		if i.Rc {
+			c.setCR0(g[i.RT])
+		}
+	case ppc.OpMullw:
+		g[i.RT] = uint32(int32(g[i.RA]) * int32(g[i.RB]))
+		if i.Rc {
+			c.setCR0(g[i.RT])
+		}
+	case ppc.OpDivw:
+		a, b := int32(g[i.RA]), int32(g[i.RB])
+		var q int32
+		switch {
+		case b == 0, a == math.MinInt32 && b == -1:
+			q = 0 // architecturally undefined; pinned for determinism
+		default:
+			q = a / b
+		}
+		g[i.RT] = uint32(q)
+		if i.Rc {
+			c.setCR0(g[i.RT])
+		}
+
+	case ppc.OpAnd:
+		g[i.RA] = g[i.RT] & g[i.RB]
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpOr:
+		g[i.RA] = g[i.RT] | g[i.RB]
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpXor:
+		g[i.RA] = g[i.RT] ^ g[i.RB]
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpNor:
+		g[i.RA] = ^(g[i.RT] | g[i.RB])
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpSlw:
+		sh := g[i.RB] & 0x3F
+		if sh > 31 {
+			g[i.RA] = 0
+		} else {
+			g[i.RA] = g[i.RT] << sh
+		}
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpSrw:
+		sh := g[i.RB] & 0x3F
+		if sh > 31 {
+			g[i.RA] = 0
+		} else {
+			g[i.RA] = g[i.RT] >> sh
+		}
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpSraw:
+		sh := g[i.RB] & 0x3F
+		if sh > 31 {
+			sh = 31
+		}
+		g[i.RA] = uint32(int32(g[i.RT]) >> sh)
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpSrawi:
+		g[i.RA] = uint32(int32(g[i.RT]) >> i.SH)
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpExtsb:
+		g[i.RA] = uint32(int32(int8(g[i.RT])))
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpExtsh:
+		g[i.RA] = uint32(int32(int16(g[i.RT])))
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+	case ppc.OpRlwinm:
+		r := bits.RotateLeft32(g[i.RT], int(i.SH))
+		g[i.RA] = r & maskMBME(i.MB, i.ME)
+		if i.Rc {
+			c.setCR0(g[i.RA])
+		}
+
+	case ppc.OpMfspr:
+		switch i.SPR {
+		case ppc.SprLR:
+			g[i.RT] = c.LR
+		case ppc.SprCTR:
+			g[i.RT] = c.CTR
+		default:
+			return fmt.Errorf("machine: mfspr %d unsupported", i.SPR)
+		}
+	case ppc.OpMtspr:
+		switch i.SPR {
+		case ppc.SprLR:
+			c.LR = g[i.RT]
+		case ppc.SprCTR:
+			c.CTR = g[i.RT]
+		default:
+			return fmt.Errorf("machine: mtspr %d unsupported", i.SPR)
+		}
+
+	case ppc.OpB:
+		if i.AA {
+			return fmt.Errorf("machine: absolute branch at %#x unsupported", fi.CIA)
+		}
+		if i.LK {
+			if !fi.NextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			}
+			c.LR = fi.Next
+		}
+		c.Stats.TakenBranches++
+		return c.fe.SetPC(c.fe.RelTarget(fi.CIA, i.Imm>>2))
+	case ppc.OpBc:
+		if i.AA {
+			return fmt.Errorf("machine: absolute branch at %#x unsupported", fi.CIA)
+		}
+		taken := c.branchCond(i.BO, i.BI)
+		if i.LK {
+			if !fi.NextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			}
+			c.LR = fi.Next
+		}
+		if taken {
+			c.Stats.TakenBranches++
+			return c.fe.SetPC(c.fe.RelTarget(fi.CIA, i.Imm>>2))
+		}
+	case ppc.OpBclr:
+		taken := c.branchCond(i.BO, i.BI)
+		target := c.LR
+		if i.LK {
+			if !fi.NextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			}
+			c.LR = fi.Next
+		}
+		if taken {
+			c.Stats.TakenBranches++
+			return c.fe.SetPC(target)
+		}
+	case ppc.OpBcctr:
+		taken := c.branchCond(i.BO, i.BI)
+		if i.LK {
+			if !fi.NextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			}
+			c.LR = fi.Next
+		}
+		if taken {
+			c.Stats.TakenBranches++
+			return c.fe.SetPC(c.CTR)
+		}
+
+	case ppc.OpSc:
+		c.Stats.Syscalls++
+		return c.syscall()
+
+	default:
+		return fmt.Errorf("machine: unimplemented op %v at %#x", i.Op, fi.CIA)
+	}
+	return nil
+}
+
+// regOrZero implements the RA=0-means-zero convention of addi/addis and
+// load/store effective-address computation.
+func (c *CPU) regOrZero(ra uint8) uint32 {
+	if ra == 0 {
+		return 0
+	}
+	return c.GPR[ra]
+}
+
+// branchCond evaluates the BO/BI fields, decrementing CTR when required.
+func (c *CPU) branchCond(bo, bi uint8) bool {
+	ctrOK := true
+	if bo&4 == 0 {
+		c.CTR--
+		ctrZero := c.CTR == 0
+		ctrOK = ctrZero == (bo&2 != 0)
+	}
+	condOK := true
+	if bo&16 == 0 {
+		bit := c.CR>>(31-uint(bi))&1 == 1
+		condOK = bit == (bo&8 != 0)
+	}
+	return ctrOK && condOK
+}
+
+func (c *CPU) setCRField(crf uint8, lt, gt, eq bool) {
+	shift := 28 - 4*uint(crf)
+	var v uint32
+	if lt {
+		v |= 8
+	}
+	if gt {
+		v |= 4
+	}
+	if eq {
+		v |= 2
+	}
+	c.CR = c.CR&^(uint32(0xF)<<shift) | v<<shift
+}
+
+func (c *CPU) setCRSigned(crf uint8, a, b int32) {
+	c.setCRField(crf, a < b, a > b, a == b)
+}
+
+func (c *CPU) setCRUnsigned(crf uint8, a, b uint32) {
+	c.setCRField(crf, a < b, a > b, a == b)
+}
+
+func (c *CPU) setCR0(v uint32) { c.setCRSigned(0, int32(v), 0) }
+
+// CRBit returns CR bit i (IBM numbering, bit 0 = MSB).
+func (c *CPU) CRBit(i uint8) bool { return c.CR>>(31-uint(i))&1 == 1 }
+
+// maskMBME builds the rlwinm mask covering IBM bits MB..ME inclusive,
+// wrapping when MB > ME.
+func maskMBME(mb, me uint8) uint32 {
+	m1 := ^uint32(0) >> mb
+	var m2 uint32
+	if me < 31 {
+		m2 = ^uint32(0) >> (me + 1)
+	}
+	if mb <= me {
+		return m1 &^ m2
+	}
+	return m1 | ^m2
+}
+
+func (c *CPU) syscall() error {
+	switch c.GPR[0] {
+	case SysExit:
+		c.exited = true
+		c.status = int32(c.GPR[3])
+	case SysPutchar:
+		c.out.WriteByte(byte(c.GPR[3]))
+	case SysPutint:
+		fmt.Fprintf(&c.out, "%d", int32(c.GPR[3]))
+	case SysPuts:
+		s, err := c.Mem.CString(c.GPR[3], 1<<16)
+		if err != nil {
+			return err
+		}
+		c.out.WriteString(s)
+	default:
+		return fmt.Errorf("machine: unknown syscall %d", c.GPR[0])
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is a sparse big-endian byte-addressable memory built from disjoint
+// regions (text, data, stack). Accesses outside any region fault, which
+// turns wild pointers in generated code into test failures instead of
+// silent corruption.
+type Memory struct {
+	regions []region
+}
+
+type region struct {
+	name string
+	base uint32
+	data []byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// Map adds a region. Regions must not overlap.
+func (m *Memory) Map(name string, base uint32, data []byte) error {
+	end := uint64(base) + uint64(len(data))
+	if end > 1<<32 {
+		return fmt.Errorf("machine: region %s wraps the address space", name)
+	}
+	for _, r := range m.regions {
+		rEnd := uint64(r.base) + uint64(len(r.data))
+		if uint64(base) < rEnd && end > uint64(r.base) {
+			return fmt.Errorf("machine: region %s overlaps %s", name, r.name)
+		}
+	}
+	m.regions = append(m.regions, region{name: name, base: base, data: data})
+	return nil
+}
+
+func (m *Memory) find(addr uint32, n int) ([]byte, error) {
+	for _, r := range m.regions {
+		if addr >= r.base && uint64(addr)+uint64(n) <= uint64(r.base)+uint64(len(r.data)) {
+			off := addr - r.base
+			return r.data[off : off+uint32(n)], nil
+		}
+	}
+	return nil, fmt.Errorf("machine: fault at %#x (%d bytes)", addr, n)
+}
+
+// Load8 reads one byte.
+func (m *Memory) Load8(addr uint32) (uint8, error) {
+	b, err := m.find(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Load16 reads a big-endian halfword.
+func (m *Memory) Load16(addr uint32) (uint16, error) {
+	b, err := m.find(addr, 2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+// Load32 reads a big-endian word.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	b, err := m.find(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(addr uint32, v uint8) error {
+	b, err := m.find(addr, 1)
+	if err != nil {
+		return err
+	}
+	b[0] = v
+	return nil
+}
+
+// Store16 writes a big-endian halfword.
+func (m *Memory) Store16(addr uint32, v uint16) error {
+	b, err := m.find(addr, 2)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(b, v)
+	return nil
+}
+
+// Store32 writes a big-endian word.
+func (m *Memory) Store32(addr uint32, v uint32) error {
+	b, err := m.find(addr, 4)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(b, v)
+	return nil
+}
+
+// CString reads a NUL-terminated string of at most max bytes.
+func (m *Memory) CString(addr uint32, max int) (string, error) {
+	out := make([]byte, 0, 32)
+	for i := 0; i < max; i++ {
+		c, err := m.Load8(addr + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if c == 0 {
+			return string(out), nil
+		}
+		out = append(out, c)
+	}
+	return "", fmt.Errorf("machine: unterminated string at %#x", addr)
+}

@@ -1,0 +1,179 @@
+package objfile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+func TestProgramRoundTrip(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry || q.TextBase != p.TextBase || q.DataBase != p.DataBase {
+		t.Fatal("header fields differ")
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text %d vs %d", len(q.Text), len(p.Text))
+	}
+	for i := range q.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Fatalf("text differs at %d", i)
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Fatal("data differs")
+	}
+	if len(q.Symbols) != len(p.Symbols) || len(q.JumpTableSlots) != len(p.JumpTableSlots) {
+		t.Fatal("tables differ")
+	}
+	if len(q.Prologue) != len(p.Prologue) || len(q.Epilogue) != len(p.Epilogue) {
+		t.Fatal("ranges differ")
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.Compress(p.Clone(), core.Options{Scheme: codeword.Nibble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != img.Name || q.Scheme != img.Scheme || q.Units != img.Units ||
+		q.Base != img.Base || q.EntryUnit != img.EntryUnit {
+		t.Fatal("header fields differ")
+	}
+	if !bytes.Equal(q.Stream, img.Stream) || !bytes.Equal(q.Data, img.Data) {
+		t.Fatal("payload differs")
+	}
+	if len(q.Entries) != len(img.Entries) || len(q.Marks) != len(img.Marks) {
+		t.Fatal("tables differ")
+	}
+	if q.Stats != img.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", q.Stats, img.Stats)
+	}
+	// The deserialized image must still verify against the original and
+	// still execute equivalently.
+	if err := core.Verify(p, q); err != nil {
+		t.Fatalf("verify after round trip: %v", err)
+	}
+	if _, _, err := core.RunBoth(p, q, 100_000_000); err != nil {
+		t.Fatalf("execution after round trip: %v", err)
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := synth.Generate("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := core.BuildSharedDictionary(
+		[]*program.Program{p, q}, core.Options{Scheme: codeword.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDictionary(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDictionary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("%d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].Uses != entries[i].Uses || len(got[i].Words) != len(entries[i].Words) {
+			t.Fatalf("entry %d differs", i)
+		}
+		for j := range got[i].Words {
+			if got[i].Words[j] != entries[i].Words[j] {
+				t.Fatalf("entry %d word %d differs", i, j)
+			}
+		}
+	}
+	// The reloaded dictionary still compresses and verifies.
+	img, err := core.CompressFixed(p.Clone(), got, core.Options{Scheme: codeword.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(p, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDictionary(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("bad dictionary magic accepted")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := ReadProgram(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+		t.Fatal("bad program magic accepted")
+	}
+	if _, err := ReadImage(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+		t.Fatal("bad image magic accepted")
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{3, 10, 100, len(full) / 2, len(full) - 1} {
+		if _, err := ReadProgram(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestCorruptedProgramFailsValidation(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry point field (offset: magic 4 + str hdr 2 + name +
+	// textBase 4 + dataBase 4).
+	raw := buf.Bytes()
+	off := 4 + 2 + len(p.Name) + 4 + 4
+	raw[off] = 0xFF // entry far outside text
+	if _, err := ReadProgram(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted entry accepted")
+	}
+}

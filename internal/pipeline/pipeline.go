@@ -1,0 +1,80 @@
+// Package pipeline is a simple in-order timing model over the machine
+// simulator: one cycle per instruction, a flush penalty per taken branch,
+// a decode penalty per dictionary-expanded instruction (the variable-
+// length decoder of §2.1's "decode efficiency" discussion), and a miss
+// penalty per instruction-cache miss. It quantifies the paper's central
+// trade — "the ability to compress instruction code is important, even at
+// the cost of execution speed" — and where that cost flips into a win.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+// Config parameterizes the model.
+type Config struct {
+	// BranchPenalty is the flush cost of a taken branch.
+	BranchPenalty int64
+	// ExpandPenalty is the extra decode cost per dictionary-expanded
+	// instruction (0 for the normal fetch path).
+	ExpandPenalty int64
+	// MissPenalty is the refill cost per I-cache miss.
+	MissPenalty int64
+	// ICache sizes the instruction cache fed by the fetch trace.
+	ICache cache.Config
+}
+
+// DefaultConfig is a small embedded core: 2-cycle taken-branch penalty,
+// 1-cycle variable-length decode penalty, 1KB direct-mapped cache.
+func DefaultConfig(missPenalty int64) Config {
+	return Config{
+		BranchPenalty: 2,
+		ExpandPenalty: 1,
+		MissPenalty:   missPenalty,
+		ICache:        cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+	}
+}
+
+// Report is the outcome of one timed run.
+type Report struct {
+	Cycles        int64
+	Steps         int64
+	TakenBranches int64
+	Expanded      int64
+	Misses        int64
+}
+
+// CPI is cycles per instruction.
+func (r Report) CPI() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Steps)
+}
+
+// Measure runs the CPU to completion under the model. The CPU must be
+// freshly constructed (its fetch trace is consumed here).
+func Measure(cpu *machine.CPU, cfg Config, maxSteps int64) (Report, error) {
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return Report{}, err
+	}
+	cpu.TraceFetch = ic.Access
+	if _, err := cpu.Run(maxSteps); err != nil {
+		return Report{}, fmt.Errorf("pipeline: %w", err)
+	}
+	r := Report{
+		Steps:         cpu.Stats.Steps,
+		TakenBranches: cpu.Stats.TakenBranches,
+		Expanded:      cpu.Stats.Expanded,
+		Misses:        ic.Stats.Misses,
+	}
+	r.Cycles = r.Steps +
+		cfg.BranchPenalty*r.TakenBranches +
+		cfg.ExpandPenalty*r.Expanded +
+		cfg.MissPenalty*r.Misses
+	return r, nil
+}

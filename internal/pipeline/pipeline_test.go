@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/synth"
+)
+
+func TestMeasureAccounting(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := machine.NewForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(10)
+	r, err := Measure(cpu, cfg, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Steps + cfg.BranchPenalty*r.TakenBranches + cfg.ExpandPenalty*r.Expanded + cfg.MissPenalty*r.Misses
+	if r.Cycles != want {
+		t.Fatalf("cycles %d, want %d", r.Cycles, want)
+	}
+	if r.Expanded != 0 {
+		t.Fatalf("normal path reported %d expansions", r.Expanded)
+	}
+	if r.CPI() < 1 {
+		t.Fatalf("CPI %f below 1", r.CPI())
+	}
+}
+
+func TestCompressedPaysDecodeAndSavesMisses(t *testing.T) {
+	p, err := synth.Generate("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.Compress(p.Clone(), core.Options{Scheme: codeword.Nibble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(mk func() (*machine.CPU, error), miss int64) Report {
+		cpu, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Measure(cpu, DefaultConfig(miss), 200_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	native := func() (*machine.CPU, error) { return machine.NewForProgram(p) }
+	comp := func() (*machine.CPU, error) { return core.NewMachine(img) }
+
+	// With free memory the compressed path can only lose (decode penalty).
+	n0, c0 := measure(native, 0), measure(comp, 0)
+	if c0.Cycles < n0.Cycles {
+		t.Fatalf("compression faster with free memory: %d vs %d", c0.Cycles, n0.Cycles)
+	}
+	if c0.Expanded == 0 {
+		t.Fatal("compressed run reported no expansions")
+	}
+	// With expensive memory the miss savings dominate.
+	n50, c50 := measure(native, 50), measure(comp, 50)
+	if c50.Cycles >= n50.Cycles {
+		t.Fatalf("compression not faster at 50-cycle misses: %d vs %d", c50.Cycles, n50.Cycles)
+	}
+	if c50.Misses >= n50.Misses {
+		t.Fatalf("compressed image missed more: %d vs %d", c50.Misses, n50.Misses)
+	}
+}
+
+func TestMeasureBadCache(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := machine.NewForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.ICache = cache.Config{SizeBytes: 7, LineBytes: 3}
+	if _, err := Measure(cpu, cfg, 1000); err == nil {
+		t.Fatal("bad cache config accepted")
+	}
+}

@@ -1,0 +1,684 @@
+package ppc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses one instruction in the exact syntax Disassemble emits —
+// standard PowerPC mnemonics including the simplified forms — and returns
+// the encoded word. Assemble(Disassemble(w)) == w for every word that
+// decodes under the subset, and ".long 0x…" round-trips arbitrary words.
+func Assemble(src string) (uint32, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return 0, fmt.Errorf("ppc: empty instruction")
+	}
+	var mnem, rest string
+	if i := strings.IndexAny(src, " \t"); i >= 0 {
+		mnem, rest = src[:i], strings.TrimSpace(src[i+1:])
+	} else {
+		mnem = src
+	}
+	var ops []string
+	if rest != "" {
+		ops = strings.Split(rest, ",")
+		for i := range ops {
+			ops[i] = strings.TrimSpace(ops[i])
+		}
+	}
+	w, err := assembleSafe(mnem, ops)
+	if err != nil {
+		return 0, fmt.Errorf("ppc: %q: %w", src, err)
+	}
+	return w, nil
+}
+
+// assembleSafe converts Encode's out-of-range panics (programming-error
+// guards when driven from builders) into ordinary parse errors.
+func assembleSafe(mnem string, ops []string) (w uint32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return assembleOp(mnem, ops)
+}
+
+// AssembleAll parses one instruction per line, skipping blank lines and
+// '#' comments.
+func AssembleAll(src string) ([]uint32, error) {
+	var out []uint32
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		w, err := Assemble(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Operand parsers.
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseCR(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "cr") {
+		return 0, fmt.Errorf("expected condition field, got %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n > 7 {
+		return 0, fmt.Errorf("bad condition field %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -1<<31 || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseDisp handles the ".+0x10" / ".-0x10" relative-displacement syntax.
+func parseDisp(s string) (int32, error) {
+	if strings.HasPrefix(s, ".+") {
+		v, err := strconv.ParseUint(s[2:], 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad displacement %q", s)
+		}
+		return int32(v), nil
+	}
+	if strings.HasPrefix(s, ".-") {
+		v, err := strconv.ParseUint(s[2:], 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad displacement %q", s)
+		}
+		return -int32(v), nil
+	}
+	return 0, fmt.Errorf("bad displacement %q (want .+0x… or .-0x…)", s)
+}
+
+// parseMem handles the "d(rA)" addressing syntax.
+func parseMem(s string) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected d(rA), got %q", s)
+	}
+	d, err := parseImm(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	ra, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, ra, nil
+}
+
+func needOps(ops []string, n int) error {
+	if len(ops) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(ops))
+	}
+	return nil
+}
+
+func assembleOp(mnem string, ops []string) (uint32, error) {
+	rc := false
+	base := mnem
+	// A trailing dot marks the record-condition form; andi. is inherently
+	// recording and handled explicitly.
+	if strings.HasSuffix(mnem, ".") && mnem != "andi." && mnem != ".long" {
+		rc = true
+		base = strings.TrimSuffix(mnem, ".")
+	}
+	withRc := func(w uint32, err error) (uint32, error) {
+		if err != nil {
+			return 0, err
+		}
+		if rc {
+			w |= 1
+		}
+		return w, nil
+	}
+
+	switch base {
+	case ".long":
+		if err := needOps(ops, 1); err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseUint(ops[0], 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad word %q", ops[0])
+		}
+		return uint32(v), nil
+
+	case "nop":
+		if err := needOps(ops, 0); err != nil {
+			return 0, err
+		}
+		return Nop(), nil
+	case "sc":
+		if err := needOps(ops, 0); err != nil {
+			return 0, err
+		}
+		return Sc(), nil
+	case "blr", "blrl", "bctr", "bctrl":
+		if err := needOps(ops, 0); err != nil {
+			return 0, err
+		}
+		switch base {
+		case "blr":
+			return Blr(), nil
+		case "blrl":
+			return Encode(Inst{Op: OpBclr, BO: BoAlways, LK: true}), nil
+		case "bctr":
+			return Bctr(), nil
+		default:
+			return Bctrl(), nil
+		}
+
+	case "li", "lis":
+		return asmRI(base, ops)
+	case "addi", "addis":
+		return asmRRI(base, ops)
+	case "ori", "oris", "xori", "andi.":
+		return asmLogicalImm(mnem, ops)
+	case "mr":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return Mr(ra, rs), nil
+
+	case "cmpwi", "cmplwi":
+		if err := needOps(ops, 3); err != nil {
+			return 0, err
+		}
+		crf, err := parseCR(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		if base == "cmpwi" {
+			return Cmpwi(crf, ra, imm), nil
+		}
+		return Cmplwi(crf, ra, imm), nil
+	case "cmpw", "cmplw":
+		if err := needOps(ops, 3); err != nil {
+			return 0, err
+		}
+		crf, err := parseCR(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		rb, err := parseReg(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		if base == "cmpw" {
+			return Cmpw(crf, ra, rb), nil
+		}
+		return Cmplw(crf, ra, rb), nil
+
+	case "lwz", "lbz", "lhz", "stw", "stb", "sth", "stwu", "lmw", "stmw":
+		return asmMem(base, ops)
+	case "lwzx", "stwx", "lbzx", "lhzx", "stbx", "sthx":
+		return asmRRR3(base, ops, false)
+
+	case "add", "subf", "mullw", "divw":
+		return withRc(asmRRR3(base, ops, false))
+	case "and", "or", "xor", "nor", "slw", "srw", "sraw":
+		return withRc(asmRRR3(base, ops, true))
+	case "neg":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return withRc(Neg(rd, ra), nil)
+	case "extsb", "extsh":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		if base == "extsb" {
+			return withRc(Extsb(ra, rs), nil)
+		}
+		return withRc(Extsh(ra, rs), nil)
+	case "srawi":
+		if err := needOps(ops, 3); err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		sh, err := parseImm(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		return withRc(Srawi(ra, rs, uint8(sh&31)), nil)
+
+	case "rlwinm":
+		if err := needOps(ops, 5); err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		var f [3]uint8
+		for i := 0; i < 3; i++ {
+			v, err := parseImm(ops[2+i])
+			if err != nil {
+				return 0, err
+			}
+			f[i] = uint8(v & 31)
+		}
+		return withRc(Rlwinm(ra, rs, f[0], f[1], f[2]), nil)
+	case "clrlwi", "slwi", "srwi":
+		if err := needOps(ops, 3); err != nil {
+			return 0, err
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		n, err := parseImm(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		var w uint32
+		switch base {
+		case "clrlwi":
+			w = Clrlwi(ra, rs, uint8(n&31))
+		case "slwi":
+			w = Slwi(ra, rs, uint8(n&31))
+		default:
+			w = Srwi(ra, rs, uint8(n&31))
+		}
+		return withRc(w, nil)
+
+	case "b", "bl", "ba", "bla":
+		return asmBranchI(base, ops)
+	case "blt", "bgt", "beq", "bge", "ble", "bne",
+		"bltl", "bgtl", "beql", "bgel", "blel", "bnel":
+		return asmBranchCond(base, ops)
+	case "bdnz", "bdnzl":
+		if err := needOps(ops, 1); err != nil {
+			return 0, err
+		}
+		d, err := parseDisp(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(Inst{Op: OpBc, BO: BoDnz, Imm: d, LK: base == "bdnzl"}), nil
+	case "bc", "bcl", "bca", "bcla":
+		if err := needOps(ops, 3); err != nil {
+			return 0, err
+		}
+		bo, err := parseImm(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		bi, err := parseImm(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		aa := base == "bca" || base == "bcla"
+		lk := base == "bcl" || base == "bcla"
+		var d int32
+		if aa {
+			v, err := strconv.ParseUint(ops[2], 0, 32)
+			if err != nil || v&3 != 0 {
+				return 0, fmt.Errorf("bad absolute target %q", ops[2])
+			}
+			d = signExt(uint32(v)>>2&0x3FFF, 14) << 2
+		} else {
+			d, err = parseDisp(ops[2])
+			if err != nil {
+				return 0, err
+			}
+		}
+		return Encode(Inst{Op: OpBc, BO: uint8(bo & 31), BI: uint8(bi & 31), Imm: d, AA: aa, LK: lk}), nil
+	case "bclr", "bclrl", "bcctr", "bcctrl":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		bo, err := parseImm(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		bi, err := parseImm(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		op := OpBclr
+		if strings.HasPrefix(base, "bcctr") {
+			op = OpBcctr
+		}
+		return Encode(Inst{Op: op, BO: uint8(bo & 31), BI: uint8(bi & 31), LK: strings.HasSuffix(base, "l") && base != "bclr"}), nil
+
+	case "mflr", "mtlr", "mfctr", "mtctr":
+		if err := needOps(ops, 1); err != nil {
+			return 0, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		switch base {
+		case "mflr":
+			return Mflr(r), nil
+		case "mtlr":
+			return Mtlr(r), nil
+		case "mfctr":
+			return Mfctr(r), nil
+		default:
+			return Mtctr(r), nil
+		}
+	case "mfspr":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		spr, err := parseImm(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(Inst{Op: OpMfspr, RT: rd, SPR: uint16(spr)}), nil
+	case "mtspr":
+		if err := needOps(ops, 2); err != nil {
+			return 0, err
+		}
+		spr, err := parseImm(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(Inst{Op: OpMtspr, RT: rs, SPR: uint16(spr)}), nil
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func asmRI(base string, ops []string) (uint32, error) {
+	if err := needOps(ops, 2); err != nil {
+		return 0, err
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	if base == "li" {
+		return Li(rd, imm), nil
+	}
+	return Lis(rd, imm), nil
+}
+
+func asmRRI(base string, ops []string) (uint32, error) {
+	if err := needOps(ops, 3); err != nil {
+		return 0, err
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	ra, err := parseReg(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	imm, err := parseImm(ops[2])
+	if err != nil {
+		return 0, err
+	}
+	switch base {
+	case "addi":
+		return Addi(rd, ra, imm), nil
+	case "addis":
+		return Addis(rd, ra, imm), nil
+	}
+	return 0, fmt.Errorf("unsupported %q", base)
+}
+
+func asmLogicalImm(mnem string, ops []string) (uint32, error) {
+	if err := needOps(ops, 3); err != nil {
+		return 0, err
+	}
+	ra, err := parseReg(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	rs, err := parseReg(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	imm, err := parseImm(ops[2])
+	if err != nil {
+		return 0, err
+	}
+	switch mnem {
+	case "ori":
+		return Ori(ra, rs, imm), nil
+	case "oris":
+		return Oris(ra, rs, imm), nil
+	case "xori":
+		return Xori(ra, rs, imm), nil
+	case "andi.":
+		return AndiRc(ra, rs, imm), nil
+	}
+	return 0, fmt.Errorf("unsupported %q", mnem)
+}
+
+func asmMem(base string, ops []string) (uint32, error) {
+	if err := needOps(ops, 2); err != nil {
+		return 0, err
+	}
+	rt, err := parseReg(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	d, ra, err := parseMem(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	ops2 := map[string]Op{
+		"lwz": OpLwz, "lbz": OpLbz, "lhz": OpLhz, "stw": OpStw,
+		"stb": OpStb, "sth": OpSth, "stwu": OpStwu, "lmw": OpLmw, "stmw": OpStmw,
+	}
+	op, ok := ops2[base]
+	if !ok {
+		return 0, fmt.Errorf("unsupported %q", base)
+	}
+	return Encode(Inst{Op: op, RT: rt, RA: ra, Imm: d}), nil
+}
+
+// asmRRR3 parses three-register forms. logical selects the RA,RS,RB
+// operand order used by and/or/xor/…; otherwise RT,RA,RB.
+func asmRRR3(base string, ops []string, logical bool) (uint32, error) {
+	if err := needOps(ops, 3); err != nil {
+		return 0, err
+	}
+	var regs [3]uint8
+	for i := range regs {
+		r, err := parseReg(ops[i])
+		if err != nil {
+			return 0, err
+		}
+		regs[i] = r
+	}
+	if logical {
+		switch base {
+		case "and":
+			return And(regs[0], regs[1], regs[2]), nil
+		case "or":
+			return Or(regs[0], regs[1], regs[2]), nil
+		case "xor":
+			return Xor(regs[0], regs[1], regs[2]), nil
+		case "nor":
+			return Nor(regs[0], regs[1], regs[2]), nil
+		case "slw":
+			return Slw(regs[0], regs[1], regs[2]), nil
+		case "srw":
+			return Srw(regs[0], regs[1], regs[2]), nil
+		case "sraw":
+			return Sraw(regs[0], regs[1], regs[2]), nil
+		}
+		return 0, fmt.Errorf("unsupported %q", base)
+	}
+	switch base {
+	case "add":
+		return Add(regs[0], regs[1], regs[2]), nil
+	case "subf":
+		return Subf(regs[0], regs[1], regs[2]), nil
+	case "mullw":
+		return Mullw(regs[0], regs[1], regs[2]), nil
+	case "divw":
+		return Divw(regs[0], regs[1], regs[2]), nil
+	case "lwzx":
+		return Lwzx(regs[0], regs[1], regs[2]), nil
+	case "stwx":
+		return Stwx(regs[0], regs[1], regs[2]), nil
+	case "lbzx":
+		return Lbzx(regs[0], regs[1], regs[2]), nil
+	case "lhzx":
+		return Lhzx(regs[0], regs[1], regs[2]), nil
+	case "stbx":
+		return Stbx(regs[0], regs[1], regs[2]), nil
+	case "sthx":
+		return Sthx(regs[0], regs[1], regs[2]), nil
+	}
+	return 0, fmt.Errorf("unsupported %q", base)
+}
+
+func asmBranchI(base string, ops []string) (uint32, error) {
+	if err := needOps(ops, 1); err != nil {
+		return 0, err
+	}
+	lk := base == "bl" || base == "bla"
+	aa := base == "ba" || base == "bla"
+	if aa {
+		v, err := strconv.ParseUint(ops[0], 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad absolute target %q", ops[0])
+		}
+		if v&3 != 0 {
+			return 0, fmt.Errorf("unaligned absolute target %q", ops[0])
+		}
+		return Encode(Inst{Op: OpB, Imm: signExt(uint32(v)>>2&0xFFFFFF, 24) << 2, AA: true, LK: lk}), nil
+	}
+	d, err := parseDisp(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	return Encode(Inst{Op: OpB, Imm: d, LK: lk}), nil
+}
+
+func asmBranchCond(base string, ops []string) (uint32, error) {
+	if err := needOps(ops, 2); err != nil {
+		return 0, err
+	}
+	lk := strings.HasSuffix(base, "l") && base != "bl"
+	name := strings.TrimSuffix(base, "l")
+	crf, err := parseCR(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	d, err := parseDisp(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	var bo, bit uint8
+	switch name {
+	case "blt":
+		bo, bit = BoTrue, CrLT
+	case "bgt":
+		bo, bit = BoTrue, CrGT
+	case "beq":
+		bo, bit = BoTrue, CrEQ
+	case "bge":
+		bo, bit = BoFalse, CrLT
+	case "ble":
+		bo, bit = BoFalse, CrGT
+	case "bne":
+		bo, bit = BoFalse, CrEQ
+	default:
+		return 0, fmt.Errorf("unsupported %q", base)
+	}
+	return Encode(Inst{Op: OpBc, BO: bo, BI: crf*4 + bit, Imm: d, LK: lk}), nil
+}

@@ -1,0 +1,128 @@
+package ppc
+
+import "fmt"
+
+// Branch-analysis and field-patching helpers used by the CFG recovery pass
+// and by the compressor's offset-repatching step.
+//
+// The paper's scheme never compresses PC-relative branches (I-form b/bl and
+// B-form bc with AA=0) because their offset fields must be rewritten after
+// compression. Indirect branches (bclr, bcctr) carry no offset and are
+// compressed like ordinary instructions. After compression, the control
+// unit interprets offset fields in units of the smallest codeword rather
+// than in words, so the patcher writes unit displacements into LI/BD.
+
+// Branch field widths.
+const (
+	LIBits = 24 // I-form displacement field width
+	BDBits = 14 // B-form displacement field width
+)
+
+// IsRelativeBranch reports whether the word is a PC-relative branch (I-form
+// or B-form with AA=0). These are excluded from dictionary compression.
+func IsRelativeBranch(w uint32) bool {
+	switch PrimaryOpcode(w) {
+	case pocB, pocBc:
+		return w>>1&1 == 0 // AA clear
+	}
+	return false
+}
+
+// IsBranch reports whether the word is any control-transfer instruction.
+func IsBranch(w uint32) bool {
+	switch PrimaryOpcode(w) {
+	case pocB, pocBc:
+		return true
+	case pocXL:
+		xo := w >> 1 & 0x3FF
+		return xo == xlBclr || xo == xlBcctr
+	}
+	return false
+}
+
+// IsIndirectBranch reports whether the word transfers control through
+// LR or CTR.
+func IsIndirectBranch(w uint32) bool {
+	if PrimaryOpcode(w) != pocXL {
+		return false
+	}
+	xo := w >> 1 & 0x3FF
+	return xo == xlBclr || xo == xlBcctr
+}
+
+// IsConditional reports whether the branch word is conditional (BO field
+// other than branch-always).
+func IsConditional(w uint32) bool {
+	switch PrimaryOpcode(w) {
+	case pocBc:
+		return w>>21&0x1F != BoAlways
+	case pocXL:
+		return w>>21&0x1F != BoAlways
+	}
+	return false
+}
+
+// IsCall reports whether the word is a branch with LK set.
+func IsCall(w uint32) bool { return IsBranch(w) && w&1 == 1 }
+
+// RelDisplacement returns the byte displacement of a PC-relative branch.
+// ok is false for non-relative-branch words.
+func RelDisplacement(w uint32) (disp int32, ok bool) {
+	switch PrimaryOpcode(w) {
+	case pocB:
+		if w>>1&1 == 1 {
+			return 0, false
+		}
+		return signExt(w>>2&0xFFFFFF, LIBits) << 2, true
+	case pocBc:
+		if w>>1&1 == 1 {
+			return 0, false
+		}
+		return signExt(w>>2&0x3FFF, BDBits) << 2, true
+	}
+	return 0, false
+}
+
+// FieldValue returns the raw signed value of the branch displacement field
+// (LI or BD) without the implicit ×4 scaling. ok is false for
+// non-relative-branch words.
+func FieldValue(w uint32) (v int32, bits uint, ok bool) {
+	switch PrimaryOpcode(w) {
+	case pocB:
+		return signExt(w>>2&0xFFFFFF, LIBits), LIBits, w>>1&1 == 0
+	case pocBc:
+		return signExt(w>>2&0x3FFF, BDBits), BDBits, w>>1&1 == 0
+	}
+	return 0, 0, false
+}
+
+// FitsField reports whether a raw field value v fits the displacement field
+// of the given branch word.
+func FitsField(w uint32, v int32) bool {
+	switch PrimaryOpcode(w) {
+	case pocB:
+		return fitsSigned(v, LIBits)
+	case pocBc:
+		return fitsSigned(v, BDBits)
+	}
+	return false
+}
+
+// SetField writes a raw displacement field value into a relative branch
+// word, preserving all other bits. It returns an error when v does not fit
+// the field; callers handle overflow with the paper's jump-table fallback.
+func SetField(w uint32, v int32) (uint32, error) {
+	switch PrimaryOpcode(w) {
+	case pocB:
+		if !fitsSigned(v, LIBits) {
+			return 0, fmt.Errorf("ppc: LI field value %d exceeds %d bits", v, LIBits)
+		}
+		return w&^uint32(0x03FFFFFC) | uint32(v)<<2&0x03FFFFFC, nil
+	case pocBc:
+		if !fitsSigned(v, BDBits) {
+			return 0, fmt.Errorf("ppc: BD field value %d exceeds %d bits", v, BDBits)
+		}
+		return w&^uint32(0xFFFC) | uint32(v)<<2&0xFFFC, nil
+	}
+	return 0, fmt.Errorf("ppc: word %08x is not a relative branch", w)
+}

@@ -1,0 +1,283 @@
+package ppc
+
+// Builder functions construct encoded instruction words directly. They are
+// the assembler layer used by the synthetic code generator and by tests.
+// Register arguments follow the disassembly operand order of each mnemonic.
+
+// Addi builds addi rD,rA,simm. With ra==0 this is li rD,simm.
+func Addi(rd, ra uint8, simm int32) uint32 {
+	return Encode(Inst{Op: OpAddi, RT: rd, RA: ra, Imm: simm})
+}
+
+// Addis builds addis rD,rA,simm. With ra==0 this is lis rD,simm.
+func Addis(rd, ra uint8, simm int32) uint32 {
+	return Encode(Inst{Op: OpAddis, RT: rd, RA: ra, Imm: simm})
+}
+
+// Li builds li rD,simm (addi rD,0,simm).
+func Li(rd uint8, simm int32) uint32 { return Addi(rd, 0, simm) }
+
+// Lis builds lis rD,simm (addis rD,0,simm).
+func Lis(rd uint8, simm int32) uint32 { return Addis(rd, 0, simm) }
+
+// Ori builds ori rA,rS,uimm.
+func Ori(ra, rs uint8, uimm int32) uint32 {
+	return Encode(Inst{Op: OpOri, RT: rs, RA: ra, Imm: uimm})
+}
+
+// Oris builds oris rA,rS,uimm.
+func Oris(ra, rs uint8, uimm int32) uint32 {
+	return Encode(Inst{Op: OpOris, RT: rs, RA: ra, Imm: uimm})
+}
+
+// AndiRc builds andi. rA,rS,uimm.
+func AndiRc(ra, rs uint8, uimm int32) uint32 {
+	return Encode(Inst{Op: OpAndiRc, RT: rs, RA: ra, Imm: uimm})
+}
+
+// Xori builds xori rA,rS,uimm.
+func Xori(ra, rs uint8, uimm int32) uint32 {
+	return Encode(Inst{Op: OpXori, RT: rs, RA: ra, Imm: uimm})
+}
+
+// Nop builds the canonical PowerPC nop, ori 0,0,0.
+func Nop() uint32 { return Ori(0, 0, 0) }
+
+// Mr builds mr rA,rS (or rA,rS,rS).
+func Mr(ra, rs uint8) uint32 { return Or(ra, rs, rs) }
+
+// Cmpwi builds cmpwi crfD,rA,simm.
+func Cmpwi(crf, ra uint8, simm int32) uint32 {
+	return Encode(Inst{Op: OpCmpwi, CRF: crf, RA: ra, Imm: simm})
+}
+
+// Cmplwi builds cmplwi crfD,rA,uimm.
+func Cmplwi(crf, ra uint8, uimm int32) uint32 {
+	return Encode(Inst{Op: OpCmplwi, CRF: crf, RA: ra, Imm: uimm})
+}
+
+// Cmpw builds cmpw crfD,rA,rB.
+func Cmpw(crf, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpCmpw, CRF: crf, RA: ra, RB: rb})
+}
+
+// Cmplw builds cmplw crfD,rA,rB.
+func Cmplw(crf, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpCmplw, CRF: crf, RA: ra, RB: rb})
+}
+
+// Lwz builds lwz rD,d(rA).
+func Lwz(rd uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpLwz, RT: rd, RA: ra, Imm: d})
+}
+
+// Lbz builds lbz rD,d(rA).
+func Lbz(rd uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpLbz, RT: rd, RA: ra, Imm: d})
+}
+
+// Lhz builds lhz rD,d(rA).
+func Lhz(rd uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpLhz, RT: rd, RA: ra, Imm: d})
+}
+
+// Stw builds stw rS,d(rA).
+func Stw(rs uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpStw, RT: rs, RA: ra, Imm: d})
+}
+
+// Stb builds stb rS,d(rA).
+func Stb(rs uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpStb, RT: rs, RA: ra, Imm: d})
+}
+
+// Sth builds sth rS,d(rA).
+func Sth(rs uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpSth, RT: rs, RA: ra, Imm: d})
+}
+
+// Stwu builds stwu rS,d(rA).
+func Stwu(rs uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpStwu, RT: rs, RA: ra, Imm: d})
+}
+
+// Lmw builds lmw rD,d(rA): loads rD..r31.
+func Lmw(rd uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpLmw, RT: rd, RA: ra, Imm: d})
+}
+
+// Stmw builds stmw rS,d(rA): stores rS..r31.
+func Stmw(rs uint8, d int32, ra uint8) uint32 {
+	return Encode(Inst{Op: OpStmw, RT: rs, RA: ra, Imm: d})
+}
+
+// Lwzx builds lwzx rD,rA,rB.
+func Lwzx(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpLwzx, RT: rd, RA: ra, RB: rb})
+}
+
+// Stwx builds stwx rS,rA,rB.
+func Stwx(rs, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpStwx, RT: rs, RA: ra, RB: rb})
+}
+
+// Lbzx builds lbzx rD,rA,rB.
+func Lbzx(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpLbzx, RT: rd, RA: ra, RB: rb})
+}
+
+// Lhzx builds lhzx rD,rA,rB.
+func Lhzx(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpLhzx, RT: rd, RA: ra, RB: rb})
+}
+
+// Stbx builds stbx rS,rA,rB.
+func Stbx(rs, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpStbx, RT: rs, RA: ra, RB: rb})
+}
+
+// Sthx builds sthx rS,rA,rB.
+func Sthx(rs, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpSthx, RT: rs, RA: ra, RB: rb})
+}
+
+// Add builds add rD,rA,rB.
+func Add(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpAdd, RT: rd, RA: ra, RB: rb})
+}
+
+// Subf builds subf rD,rA,rB (rD = rB - rA).
+func Subf(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpSubf, RT: rd, RA: ra, RB: rb})
+}
+
+// Neg builds neg rD,rA.
+func Neg(rd, ra uint8) uint32 { return Encode(Inst{Op: OpNeg, RT: rd, RA: ra}) }
+
+// Mullw builds mullw rD,rA,rB.
+func Mullw(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpMullw, RT: rd, RA: ra, RB: rb})
+}
+
+// Divw builds divw rD,rA,rB.
+func Divw(rd, ra, rb uint8) uint32 {
+	return Encode(Inst{Op: OpDivw, RT: rd, RA: ra, RB: rb})
+}
+
+// And builds and rA,rS,rB.
+func And(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpAnd, RT: rs, RA: ra, RB: rb})
+}
+
+// Or builds or rA,rS,rB.
+func Or(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpOr, RT: rs, RA: ra, RB: rb})
+}
+
+// Xor builds xor rA,rS,rB.
+func Xor(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpXor, RT: rs, RA: ra, RB: rb})
+}
+
+// Nor builds nor rA,rS,rB. Not rA,rS is Nor(ra, rs, rs).
+func Nor(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpNor, RT: rs, RA: ra, RB: rb})
+}
+
+// Slw builds slw rA,rS,rB.
+func Slw(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpSlw, RT: rs, RA: ra, RB: rb})
+}
+
+// Srw builds srw rA,rS,rB.
+func Srw(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpSrw, RT: rs, RA: ra, RB: rb})
+}
+
+// Sraw builds sraw rA,rS,rB.
+func Sraw(ra, rs, rb uint8) uint32 {
+	return Encode(Inst{Op: OpSraw, RT: rs, RA: ra, RB: rb})
+}
+
+// Srawi builds srawi rA,rS,sh.
+func Srawi(ra, rs, sh uint8) uint32 {
+	return Encode(Inst{Op: OpSrawi, RT: rs, RA: ra, SH: sh})
+}
+
+// Extsb builds extsb rA,rS.
+func Extsb(ra, rs uint8) uint32 { return Encode(Inst{Op: OpExtsb, RT: rs, RA: ra}) }
+
+// Extsh builds extsh rA,rS.
+func Extsh(ra, rs uint8) uint32 { return Encode(Inst{Op: OpExtsh, RT: rs, RA: ra}) }
+
+// Rlwinm builds rlwinm rA,rS,sh,mb,me.
+func Rlwinm(ra, rs, sh, mb, me uint8) uint32 {
+	return Encode(Inst{Op: OpRlwinm, RT: rs, RA: ra, SH: sh, MB: mb, ME: me})
+}
+
+// Clrlwi builds clrlwi rA,rS,n = rlwinm rA,rS,0,n,31.
+func Clrlwi(ra, rs, n uint8) uint32 { return Rlwinm(ra, rs, 0, n, 31) }
+
+// Slwi builds slwi rA,rS,n = rlwinm rA,rS,n,0,31-n.
+func Slwi(ra, rs, n uint8) uint32 { return Rlwinm(ra, rs, n, 0, 31-n) }
+
+// Srwi builds srwi rA,rS,n = rlwinm rA,rS,32-n,n,31.
+func Srwi(ra, rs, n uint8) uint32 { return Rlwinm(ra, rs, 32-n, n, 31) }
+
+// B builds b target (displacement in bytes, relative to this instruction).
+func B(disp int32) uint32 { return Encode(Inst{Op: OpB, Imm: disp}) }
+
+// Bl builds bl target.
+func Bl(disp int32) uint32 { return Encode(Inst{Op: OpB, Imm: disp, LK: true}) }
+
+// Bc builds bc BO,BI,target.
+func Bc(bo, bi uint8, disp int32) uint32 {
+	return Encode(Inst{Op: OpBc, BO: bo, BI: bi, Imm: disp})
+}
+
+// Conditional branch mnemonics on a CR field. disp is a byte displacement.
+
+// Blt builds blt crN,target.
+func Blt(crf uint8, disp int32) uint32 { return Bc(BoTrue, crf*4+CrLT, disp) }
+
+// Bgt builds bgt crN,target.
+func Bgt(crf uint8, disp int32) uint32 { return Bc(BoTrue, crf*4+CrGT, disp) }
+
+// Beq builds beq crN,target.
+func Beq(crf uint8, disp int32) uint32 { return Bc(BoTrue, crf*4+CrEQ, disp) }
+
+// Bge builds bge crN,target.
+func Bge(crf uint8, disp int32) uint32 { return Bc(BoFalse, crf*4+CrLT, disp) }
+
+// Ble builds ble crN,target.
+func Ble(crf uint8, disp int32) uint32 { return Bc(BoFalse, crf*4+CrGT, disp) }
+
+// Bne builds bne crN,target.
+func Bne(crf uint8, disp int32) uint32 { return Bc(BoFalse, crf*4+CrEQ, disp) }
+
+// Bdnz builds bdnz target.
+func Bdnz(disp int32) uint32 { return Bc(BoDnz, 0, disp) }
+
+// Blr builds blr.
+func Blr() uint32 { return Encode(Inst{Op: OpBclr, BO: BoAlways}) }
+
+// Bctr builds bctr.
+func Bctr() uint32 { return Encode(Inst{Op: OpBcctr, BO: BoAlways}) }
+
+// Bctrl builds bctrl.
+func Bctrl() uint32 { return Encode(Inst{Op: OpBcctr, BO: BoAlways, LK: true}) }
+
+// Mflr builds mflr rD.
+func Mflr(rd uint8) uint32 { return Encode(Inst{Op: OpMfspr, RT: rd, SPR: SprLR}) }
+
+// Mtlr builds mtlr rS.
+func Mtlr(rs uint8) uint32 { return Encode(Inst{Op: OpMtspr, RT: rs, SPR: SprLR}) }
+
+// Mfctr builds mfctr rD.
+func Mfctr(rd uint8) uint32 { return Encode(Inst{Op: OpMfspr, RT: rd, SPR: SprCTR}) }
+
+// Mtctr builds mtctr rS.
+func Mtctr(rs uint8) uint32 { return Encode(Inst{Op: OpMtspr, RT: rs, SPR: SprCTR}) }
+
+// Sc builds sc.
+func Sc() uint32 { return Encode(Inst{Op: OpSc}) }

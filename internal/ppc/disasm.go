@@ -1,0 +1,203 @@
+package ppc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders an instruction word using standard PowerPC mnemonics,
+// including the common simplified forms (li, lis, nop, mr, blr, mflr, …).
+// Invalid words render as ".long 0x…" so dumps of mixed code/data and of
+// compressed streams stay readable.
+func Disassemble(w uint32) string {
+	i := Decode(w)
+	switch i.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".long 0x%08x", w)
+	case OpAddi:
+		if i.RA == 0 {
+			return fmt.Sprintf("li r%d,%d", i.RT, i.Imm)
+		}
+		return fmt.Sprintf("addi r%d,r%d,%d", i.RT, i.RA, i.Imm)
+	case OpAddis:
+		if i.RA == 0 {
+			return fmt.Sprintf("lis r%d,%d", i.RT, i.Imm)
+		}
+		return fmt.Sprintf("addis r%d,r%d,%d", i.RT, i.RA, i.Imm)
+	case OpOri:
+		if i.RT == 0 && i.RA == 0 && i.Imm == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("ori r%d,r%d,%d", i.RA, i.RT, i.Imm)
+	case OpOris:
+		return fmt.Sprintf("oris r%d,r%d,%d", i.RA, i.RT, i.Imm)
+	case OpAndiRc:
+		return fmt.Sprintf("andi. r%d,r%d,%d", i.RA, i.RT, i.Imm)
+	case OpXori:
+		return fmt.Sprintf("xori r%d,r%d,%d", i.RA, i.RT, i.Imm)
+	case OpCmpwi:
+		return fmt.Sprintf("cmpwi cr%d,r%d,%d", i.CRF, i.RA, i.Imm)
+	case OpCmplwi:
+		return fmt.Sprintf("cmplwi cr%d,r%d,%d", i.CRF, i.RA, i.Imm)
+	case OpCmpw:
+		return fmt.Sprintf("cmpw cr%d,r%d,r%d", i.CRF, i.RA, i.RB)
+	case OpCmplw:
+		return fmt.Sprintf("cmplw cr%d,r%d,r%d", i.CRF, i.RA, i.RB)
+	case OpLwz, OpLbz, OpLhz, OpStw, OpStb, OpSth, OpStwu, OpLmw, OpStmw:
+		return fmt.Sprintf("%s r%d,%d(r%d)", i.Op.Name(), i.RT, i.Imm, i.RA)
+	case OpLwzx, OpStwx, OpLbzx, OpLhzx, OpStbx, OpSthx:
+		return fmt.Sprintf("%s r%d,r%d,r%d", i.Op.Name(), i.RT, i.RA, i.RB)
+	case OpB:
+		m := "b"
+		if i.LK {
+			m = "bl"
+		}
+		if i.AA {
+			m += "a"
+			return fmt.Sprintf("%s 0x%x", m, uint32(i.Imm))
+		}
+		return fmt.Sprintf("%s %s", m, dispStr(i.Imm))
+	case OpBc:
+		return disasmBc(i)
+	case OpBclr:
+		if i.BO == BoAlways && i.BI == 0 {
+			if i.LK {
+				return "blrl"
+			}
+			return "blr"
+		}
+		m := "bclr"
+		if i.LK {
+			m = "bclrl"
+		}
+		return fmt.Sprintf("%s %d,%d", m, i.BO, i.BI)
+	case OpBcctr:
+		if i.BO == BoAlways && i.BI == 0 {
+			if i.LK {
+				return "bctrl"
+			}
+			return "bctr"
+		}
+		m := "bcctr"
+		if i.LK {
+			m = "bcctrl"
+		}
+		return fmt.Sprintf("%s %d,%d", m, i.BO, i.BI)
+	case OpAdd, OpSubf, OpMullw, OpDivw:
+		return fmt.Sprintf("%s r%d,r%d,r%d", rcName(i), i.RT, i.RA, i.RB)
+	case OpNeg:
+		return fmt.Sprintf("%s r%d,r%d", rcName(i), i.RT, i.RA)
+	case OpAnd, OpXor, OpNor, OpSlw, OpSrw, OpSraw:
+		return fmt.Sprintf("%s r%d,r%d,r%d", rcName(i), i.RA, i.RT, i.RB)
+	case OpOr:
+		if i.RT == i.RB && !i.Rc {
+			return fmt.Sprintf("mr r%d,r%d", i.RA, i.RT)
+		}
+		return fmt.Sprintf("%s r%d,r%d,r%d", rcName(i), i.RA, i.RT, i.RB)
+	case OpSrawi:
+		return fmt.Sprintf("%s r%d,r%d,%d", rcName(i), i.RA, i.RT, i.SH)
+	case OpExtsb, OpExtsh:
+		return fmt.Sprintf("%s r%d,r%d", rcName(i), i.RA, i.RT)
+	case OpMfspr:
+		switch i.SPR {
+		case SprLR:
+			return fmt.Sprintf("mflr r%d", i.RT)
+		case SprCTR:
+			return fmt.Sprintf("mfctr r%d", i.RT)
+		}
+		return fmt.Sprintf("mfspr r%d,%d", i.RT, i.SPR)
+	case OpMtspr:
+		switch i.SPR {
+		case SprLR:
+			return fmt.Sprintf("mtlr r%d", i.RT)
+		case SprCTR:
+			return fmt.Sprintf("mtctr r%d", i.RT)
+		}
+		return fmt.Sprintf("mtspr %d,r%d", i.SPR, i.RT)
+	case OpRlwinm:
+		if !i.Rc {
+			switch {
+			case i.SH == 0 && i.ME == 31:
+				return fmt.Sprintf("clrlwi r%d,r%d,%d", i.RA, i.RT, i.MB)
+			case i.MB == 0 && i.ME == 31-i.SH:
+				return fmt.Sprintf("slwi r%d,r%d,%d", i.RA, i.RT, i.SH)
+			case i.ME == 31 && i.SH == 32-i.MB:
+				return fmt.Sprintf("srwi r%d,r%d,%d", i.RA, i.RT, i.MB)
+			}
+		}
+		return fmt.Sprintf("%s r%d,r%d,%d,%d,%d", rcName(i), i.RA, i.RT, i.SH, i.MB, i.ME)
+	case OpSc:
+		return "sc"
+	}
+	return fmt.Sprintf(".long 0x%08x", w)
+}
+
+// rcName appends the record-condition dot for Rc-set encodings.
+func rcName(i Inst) string {
+	if i.Rc {
+		return i.Op.Name() + "."
+	}
+	return i.Op.Name()
+}
+
+func disasmBc(i Inst) string {
+	if i.AA {
+		// Absolute conditional branches: generic form only.
+		m := "bca"
+		if i.LK {
+			m = "bcla"
+		}
+		return fmt.Sprintf("%s %d,%d,0x%x", m, i.BO, i.BI, uint32(i.Imm))
+	}
+	crf := i.BI / 4
+	bit := i.BI % 4
+	var m string
+	switch {
+	case i.BO == BoTrue && bit == CrLT:
+		m = "blt"
+	case i.BO == BoTrue && bit == CrGT:
+		m = "bgt"
+	case i.BO == BoTrue && bit == CrEQ:
+		m = "beq"
+	case i.BO == BoFalse && bit == CrLT:
+		m = "bge"
+	case i.BO == BoFalse && bit == CrGT:
+		m = "ble"
+	case i.BO == BoFalse && bit == CrEQ:
+		m = "bne"
+	case i.BO == BoDnz && i.BI == 0:
+		m = "bdnz"
+		if i.LK {
+			m += "l"
+		}
+		return fmt.Sprintf("%s %s", m, dispStr(i.Imm))
+	default:
+		m = "bc"
+		if i.LK {
+			m = "bcl"
+		}
+		return fmt.Sprintf("%s %d,%d,%s", m, i.BO, i.BI, dispStr(i.Imm))
+	}
+	if i.LK {
+		m += "l"
+	}
+	return fmt.Sprintf("%s cr%d,%s", m, crf, dispStr(i.Imm))
+}
+
+func dispStr(d int32) string {
+	if d < 0 {
+		return fmt.Sprintf(".-0x%x", uint32(-d))
+	}
+	return fmt.Sprintf(".+0x%x", uint32(d))
+}
+
+// DisassembleAll renders a sequence of instruction words, one per line,
+// with word-index prefixes. Used by the ccdis tool and by test failure
+// output.
+func DisassembleAll(words []uint32) string {
+	var sb strings.Builder
+	for idx, w := range words {
+		fmt.Fprintf(&sb, "%6d: %08x  %s\n", idx, w, Disassemble(w))
+	}
+	return sb.String()
+}

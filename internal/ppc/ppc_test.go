@@ -1,0 +1,357 @@
+package ppc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		word uint32
+	}{
+		{"addi", Addi(3, 4, -12)},
+		{"li", Li(9, 200)},
+		{"lis", Lis(12, 0x7fff)},
+		{"addis", Addis(5, 6, -1)},
+		{"ori", Ori(4, 5, 0xffff)},
+		{"oris", Oris(4, 5, 0x1234)},
+		{"andi.", AndiRc(7, 8, 0xff)},
+		{"xori", Xori(1, 2, 3)},
+		{"nop", Nop()},
+		{"cmpwi", Cmpwi(1, 0, 8)},
+		{"cmplwi", Cmplwi(1, 11, 7)},
+		{"cmpw", Cmpw(0, 3, 4)},
+		{"cmplw", Cmplw(7, 30, 31)},
+		{"lwz", Lwz(9, 4, 28)},
+		{"lbz", Lbz(9, 0, 28)},
+		{"lhz", Lhz(3, -2, 1)},
+		{"stw", Stw(18, 0, 28)},
+		{"stb", Stb(18, 0, 28)},
+		{"sth", Sth(0, 100, 1)},
+		{"stwu", Stwu(1, -64, 1)},
+		{"lmw", Lmw(29, 52, 1)},
+		{"stmw", Stmw(29, 52, 1)},
+		{"lwzx", Lwzx(3, 4, 5)},
+		{"stwx", Stwx(3, 4, 5)},
+		{"add", Add(0, 11, 1)},
+		{"subf", Subf(3, 4, 5)},
+		{"neg", Neg(3, 3)},
+		{"mullw", Mullw(3, 4, 5)},
+		{"divw", Divw(3, 4, 5)},
+		{"and", And(3, 4, 5)},
+		{"or", Or(3, 4, 5)},
+		{"mr", Mr(31, 3)},
+		{"xor", Xor(3, 4, 5)},
+		{"nor", Nor(3, 4, 4)},
+		{"slw", Slw(3, 4, 5)},
+		{"srw", Srw(3, 4, 5)},
+		{"sraw", Sraw(3, 4, 5)},
+		{"srawi", Srawi(3, 4, 2)},
+		{"extsb", Extsb(3, 4)},
+		{"extsh", Extsh(3, 4)},
+		{"rlwinm", Rlwinm(11, 9, 3, 5, 28)},
+		{"clrlwi", Clrlwi(11, 9, 24)},
+		{"slwi", Slwi(4, 4, 2)},
+		{"srwi", Srwi(4, 4, 2)},
+		{"b", B(0x1000)},
+		{"b back", B(-0x1000)},
+		{"bl", Bl(0x400)},
+		{"bc ble", Ble(1, 0x40)},
+		{"bc bgt", Bgt(1, -0x40)},
+		{"beq", Beq(0, 8)},
+		{"bne", Bne(0, -8)},
+		{"blt", Blt(2, 1024)},
+		{"bge", Bge(2, -1024)},
+		{"bdnz", Bdnz(-16)},
+		{"blr", Blr()},
+		{"bctr", Bctr()},
+		{"bctrl", Bctrl()},
+		{"mflr", Mflr(0)},
+		{"mtlr", Mtlr(0)},
+		{"mfctr", Mfctr(12)},
+		{"mtctr", Mtctr(12)},
+		{"sc", Sc()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inst := Decode(c.word)
+			if inst.Op == OpInvalid {
+				t.Fatalf("%s: word %08x decodes as invalid", c.name, c.word)
+			}
+			re := Encode(inst)
+			if re != c.word {
+				t.Fatalf("%s: round trip %08x -> %+v -> %08x", c.name, c.word, inst, re)
+			}
+		})
+	}
+}
+
+// TestDecodeEncodeQuick is the property test: for every word that decodes
+// as valid, re-encoding the decoded form must reproduce the word exactly.
+func TestDecodeEncodeQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		inst := Decode(w)
+		if inst.Op == OpInvalid {
+			return true
+		}
+		return Encode(inst) == w
+	}
+	cfg := &quick.Config{MaxCount: 20000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedOpcodesAreInvalid(t *testing.T) {
+	for _, poc := range ReservedOpcodes {
+		// Any word with a reserved primary opcode must decode invalid,
+		// whatever its low bits are.
+		for _, low := range []uint32{0, 1, 0x03FFFFFF, 0x2AAAAAA} {
+			w := uint32(poc)<<26 | low
+			if Valid(w) {
+				t.Errorf("word %08x with reserved opcode %d decodes as valid", w, poc)
+			}
+		}
+	}
+}
+
+func TestEscapeBytes(t *testing.T) {
+	eb := EscapeBytes()
+	if len(eb) != 32 {
+		t.Fatalf("expected 32 escape bytes, got %d", len(eb))
+	}
+	seen := map[byte]bool{}
+	for _, b := range eb {
+		if seen[b] {
+			t.Fatalf("duplicate escape byte %02x", b)
+		}
+		seen[b] = true
+		if !IsEscapeByte(b) {
+			t.Errorf("escape byte %02x not recognized", b)
+		}
+	}
+	// No valid instruction's first byte may be an escape byte.
+	words := []uint32{Addi(3, 4, 5), Lwz(9, 0, 28), B(16), Blr(), Sc(), Rlwinm(1, 2, 3, 4, 5)}
+	for _, w := range words {
+		if IsEscapeByte(byte(w >> 24)) {
+			t.Errorf("valid instruction %08x starts with escape byte", w)
+		}
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	tests := []struct {
+		word                  uint32
+		rel, branch, indirect bool
+	}{
+		{B(64), true, true, false},
+		{Bl(64), true, true, false},
+		{Ble(1, -4), true, true, false},
+		{Blr(), false, true, true},
+		{Bctr(), false, true, true},
+		{Add(1, 2, 3), false, false, false},
+		{Lwz(1, 0, 2), false, false, false},
+	}
+	for _, tc := range tests {
+		if got := IsRelativeBranch(tc.word); got != tc.rel {
+			t.Errorf("IsRelativeBranch(%s) = %v, want %v", Disassemble(tc.word), got, tc.rel)
+		}
+		if got := IsBranch(tc.word); got != tc.branch {
+			t.Errorf("IsBranch(%s) = %v, want %v", Disassemble(tc.word), got, tc.branch)
+		}
+		if got := IsIndirectBranch(tc.word); got != tc.indirect {
+			t.Errorf("IsIndirectBranch(%s) = %v, want %v", Disassemble(tc.word), got, tc.indirect)
+		}
+	}
+}
+
+func TestIsCall(t *testing.T) {
+	if !IsCall(Bl(8)) {
+		t.Error("bl not classified as call")
+	}
+	if IsCall(B(8)) {
+		t.Error("b classified as call")
+	}
+	if !IsCall(Bctrl()) {
+		t.Error("bctrl not classified as call")
+	}
+	if IsCall(Blr()) {
+		t.Error("blr classified as call")
+	}
+}
+
+func TestRelDisplacement(t *testing.T) {
+	for _, d := range []int32{0, 4, -4, 1024, -32768, 32764} {
+		w := Bc(BoTrue, 6, d)
+		got, ok := RelDisplacement(w)
+		if !ok || got != d {
+			t.Errorf("bc disp %d: got %d ok=%v", d, got, ok)
+		}
+	}
+	for _, d := range []int32{0, 4, -4, 1 << 20, -(1 << 22)} {
+		w := B(d)
+		got, ok := RelDisplacement(w)
+		if !ok || got != d {
+			t.Errorf("b disp %d: got %d ok=%v", d, got, ok)
+		}
+	}
+	if _, ok := RelDisplacement(Blr()); ok {
+		t.Error("blr has a displacement?")
+	}
+}
+
+func TestSetField(t *testing.T) {
+	w := Ble(1, 0x40) // field value 0x10
+	v, bits, ok := FieldValue(w)
+	if !ok || v != 0x10 || bits != BDBits {
+		t.Fatalf("FieldValue = %d,%d,%v", v, bits, ok)
+	}
+	// Reinterpret offsets at byte granularity: field 0x40 means 0x40 units.
+	nw, err := SetField(w, 0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, _, _ := FieldValue(nw)
+	if nv != 0x40 {
+		t.Fatalf("after SetField, field = %d", nv)
+	}
+	// BO/BI must be preserved.
+	oi, ni := Decode(w), Decode(nw)
+	if oi.BO != ni.BO || oi.BI != ni.BI || oi.LK != ni.LK {
+		t.Fatal("SetField corrupted non-offset fields")
+	}
+	// Overflow must error.
+	if _, err := SetField(w, 1<<13); err == nil {
+		t.Error("BD overflow not detected")
+	}
+	if _, err := SetField(B(0), 1<<23); err == nil {
+		t.Error("LI overflow not detected")
+	}
+	if _, err := SetField(Blr(), 0); err == nil {
+		t.Error("SetField on non-branch did not error")
+	}
+}
+
+// TestSetFieldQuick: writing any in-range value into a branch and reading
+// it back is the identity, and never corrupts other fields.
+func TestSetFieldQuick(t *testing.T) {
+	f := func(raw int32, cond bool) bool {
+		var w uint32
+		var lim int32
+		if cond {
+			w = Bne(1, 0)
+			lim = 1 << (BDBits - 1)
+		} else {
+			w = Bl(0)
+			lim = 1 << (LIBits - 1)
+		}
+		v := raw % lim
+		nw, err := SetField(w, v)
+		if err != nil {
+			return false
+		}
+		got, _, ok := FieldValue(nw)
+		return ok && got == v
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		word uint32
+		want string
+	}{
+		{Lbz(9, 0, 28), "lbz r9,0(r28)"},
+		{Clrlwi(11, 9, 24), "clrlwi r11,r9,24"},
+		{Addi(0, 11, 1), "addi r0,r11,1"},
+		{Cmplwi(1, 0, 8), "cmplwi cr1,r0,8"},
+		{Ble(1, 0x1c8), "ble cr1,.+0x1c8"},
+		{Bgt(1, -0x34), "bgt cr1,.-0x34"},
+		{Lwz(9, 4, 28), "lwz r9,4(r28)"},
+		{Stb(18, 0, 28), "stb r18,0(r28)"},
+		{B(0x38), "b .+0x38"},
+		{Li(3, 1), "li r3,1"},
+		{Nop(), "nop"},
+		{Mr(31, 3), "mr r31,r3"},
+		{Blr(), "blr"},
+		{Mflr(0), "mflr r0"},
+		{Mtctr(12), "mtctr r12"},
+		{Sc(), "sc"},
+		{uint32(0x00000000), ".long 0x00000000"},
+		{Srawi(4, 3, 2), "srawi r4,r3,2"},
+		{Slwi(5, 6, 2), "slwi r5,r6,2"},
+		{Bdnz(-16), "bdnz .-0x10"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.word); got != c.want {
+			t.Errorf("Disassemble(%08x) = %q, want %q", c.word, got, c.want)
+		}
+	}
+}
+
+func TestEncodePanicsOnBadFields(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad reg", func() { Encode(Inst{Op: OpAdd, RT: 32}) })
+	mustPanic("bad simm", func() { Encode(Inst{Op: OpAddi, Imm: 1 << 20}) })
+	mustPanic("bad uimm", func() { Encode(Inst{Op: OpOri, Imm: -1}) })
+	mustPanic("unaligned branch", func() { Encode(Inst{Op: OpB, Imm: 3}) })
+	mustPanic("branch too far", func() { Encode(Inst{Op: OpBc, Imm: 1 << 20}) })
+}
+
+func TestPrimaryOpcode(t *testing.T) {
+	if PrimaryOpcode(Addi(1, 2, 3)) != 14 {
+		t.Error("addi primary opcode != 14")
+	}
+	if PrimaryOpcode(Lwz(1, 0, 2)) != 32 {
+		t.Error("lwz primary opcode != 32")
+	}
+}
+
+func TestConditionalClassification(t *testing.T) {
+	if !IsConditional(Beq(0, 8)) {
+		t.Error("beq not conditional")
+	}
+	if IsConditional(Bc(BoAlways, 0, 8)) {
+		t.Error("bc always is conditional")
+	}
+	if IsConditional(Blr()) {
+		t.Error("blr conditional")
+	}
+	if IsConditional(B(8)) {
+		t.Error("b conditional")
+	}
+}
+
+func TestDisassembleAll(t *testing.T) {
+	out := DisassembleAll([]uint32{Li(3, 1), Blr()})
+	for _, want := range []string{"li r3,1", "blr", "0:", "1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DisassembleAll missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpAdd.Name() != "add" || OpRlwinm.Name() != "rlwinm" {
+		t.Error("bad op names")
+	}
+	if Op(250).Name() != "<bad>" {
+		t.Error("out-of-range op name")
+	}
+	if OpAdd.Form() != FormXO || OpLwz.Form() != FormD || Op(250).Form() != FormD {
+		t.Error("bad forms")
+	}
+}

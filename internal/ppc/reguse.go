@@ -1,0 +1,94 @@
+package ppc
+
+// RegSet is a set of general-purpose registers.
+type RegSet uint32
+
+// Has reports membership.
+func (s RegSet) Has(r uint8) bool { return s>>(r&31)&1 == 1 }
+
+func (s *RegSet) add(r uint8) { *s |= 1 << (r & 31) }
+
+// RegUses returns the GPRs an instruction reads and writes. The RA=0
+// convention of addi/addis and load/store effective addresses is honored
+// (r0 is not read there). Special registers (LR, CTR, CR) are outside the
+// set; use the Op to reason about them.
+func RegUses(i Inst) (reads, writes RegSet) {
+	ra0 := func() {
+		if i.RA != 0 {
+			reads.add(i.RA)
+		}
+	}
+	switch i.Op {
+	case OpAddi, OpAddis:
+		writes.add(i.RT)
+		ra0()
+	case OpOri, OpOris, OpAndiRc, OpXori:
+		writes.add(i.RA)
+		reads.add(i.RT)
+	case OpCmpwi, OpCmplwi:
+		reads.add(i.RA)
+	case OpCmpw, OpCmplw:
+		reads.add(i.RA)
+		reads.add(i.RB)
+	case OpLwz, OpLbz, OpLhz:
+		writes.add(i.RT)
+		ra0()
+	case OpStw, OpStb, OpSth:
+		reads.add(i.RT)
+		ra0()
+	case OpStwu:
+		reads.add(i.RT)
+		reads.add(i.RA)
+		writes.add(i.RA)
+	case OpLmw:
+		for r := i.RT; ; r++ {
+			writes.add(r)
+			if r == 31 {
+				break
+			}
+		}
+		ra0()
+	case OpStmw:
+		for r := i.RT; ; r++ {
+			reads.add(r)
+			if r == 31 {
+				break
+			}
+		}
+		ra0()
+	case OpLwzx, OpLbzx, OpLhzx:
+		writes.add(i.RT)
+		ra0()
+		reads.add(i.RB)
+	case OpStwx, OpStbx, OpSthx:
+		reads.add(i.RT)
+		ra0()
+		reads.add(i.RB)
+	case OpAdd, OpSubf, OpMullw, OpDivw:
+		writes.add(i.RT)
+		reads.add(i.RA)
+		reads.add(i.RB)
+	case OpNeg:
+		writes.add(i.RT)
+		reads.add(i.RA)
+	case OpAnd, OpOr, OpXor, OpNor, OpSlw, OpSrw, OpSraw:
+		writes.add(i.RA)
+		reads.add(i.RT)
+		reads.add(i.RB)
+	case OpSrawi, OpRlwinm, OpExtsb, OpExtsh:
+		writes.add(i.RA)
+		reads.add(i.RT)
+	case OpMfspr:
+		writes.add(i.RT)
+	case OpMtspr:
+		reads.add(i.RT)
+	case OpSc:
+		// By the simulator's convention sc reads r0 (selector) and r3
+		// (argument) and may be treated as clobbering r3.
+		reads.add(0)
+		reads.add(3)
+	case OpB, OpBc, OpBclr, OpBcctr:
+		// No GPR traffic; LR/CTR are special registers.
+	}
+	return reads, writes
+}

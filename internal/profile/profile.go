@@ -1,0 +1,172 @@
+// Package profile implements the paper's static program analyses: the
+// instruction-encoding redundancy measurements of Figure 1, the
+// branch-offset field-usage study of Table 1, and the prologue/epilogue
+// accounting of Table 3.
+package profile
+
+import (
+	"sort"
+
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// EncodingProfile is Figure 1's measurement plus the frequency-coverage
+// curve behind the "1% of distinct words cover 30% of go" observation.
+type EncodingProfile struct {
+	TotalInsns int
+
+	// DistinctEncodings is the number of distinct 32-bit instruction words.
+	DistinctEncodings int
+
+	// SingleUseInsns counts instructions whose bit pattern occurs exactly
+	// once in the program; MultiUseInsns counts the rest. They sum to
+	// TotalInsns.
+	SingleUseInsns int
+	MultiUseInsns  int
+
+	// freqDesc holds occurrence counts of distinct encodings, descending.
+	freqDesc []int
+}
+
+// SingleUseFrac is the fraction of program instructions with single-use
+// encodings (the paper reports < 20% on average).
+func (e *EncodingProfile) SingleUseFrac() float64 {
+	if e.TotalInsns == 0 {
+		return 0
+	}
+	return float64(e.SingleUseInsns) / float64(e.TotalInsns)
+}
+
+// MultiUseFrac is the complementary fraction.
+func (e *EncodingProfile) MultiUseFrac() float64 {
+	if e.TotalInsns == 0 {
+		return 0
+	}
+	return float64(e.MultiUseInsns) / float64(e.TotalInsns)
+}
+
+// Coverage returns the fraction of all program instructions covered by the
+// most frequent fracDistinct (0..1] of distinct encodings — e.g.
+// Coverage(0.01) answers "how much of the program do the top 1% of
+// instruction words account for".
+func (e *EncodingProfile) Coverage(fracDistinct float64) float64 {
+	if e.TotalInsns == 0 || len(e.freqDesc) == 0 {
+		return 0
+	}
+	n := int(fracDistinct * float64(len(e.freqDesc)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(e.freqDesc) {
+		n = len(e.freqDesc)
+	}
+	covered := 0
+	for _, f := range e.freqDesc[:n] {
+		covered += f
+	}
+	return float64(covered) / float64(e.TotalInsns)
+}
+
+// AnalyzeEncodings computes the Figure 1 measurement for a program.
+func AnalyzeEncodings(p *program.Program) *EncodingProfile {
+	freq := make(map[uint32]int, len(p.Text))
+	for _, w := range p.Text {
+		freq[w]++
+	}
+	e := &EncodingProfile{
+		TotalInsns:        len(p.Text),
+		DistinctEncodings: len(freq),
+	}
+	e.freqDesc = make([]int, 0, len(freq))
+	for _, n := range freq {
+		e.freqDesc = append(e.freqDesc, n)
+		if n == 1 {
+			e.SingleUseInsns++
+		} else {
+			e.MultiUseInsns += n
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(e.freqDesc)))
+	return e
+}
+
+// BranchOffsetUsage is one row of Table 1: how many PC-relative branches
+// would overflow their offset field if the field were reinterpreted at
+// finer-than-word alignment (2-byte, 1-byte, 4-bit), which is exactly what
+// the compressed-program control unit does (§3.2.2).
+type BranchOffsetUsage struct {
+	RelativeBranches int
+
+	// TooNarrow[r] counts branches whose displacement no longer fits when
+	// the field must express r-resolution targets. Index by Resolution.
+	TooNarrow2Byte int
+	TooNarrow1Byte int
+	TooNarrow4Bit  int
+}
+
+// Frac2Byte returns the 2-byte-resolution overflow fraction.
+func (b *BranchOffsetUsage) Frac2Byte() float64 { return frac(b.TooNarrow2Byte, b.RelativeBranches) }
+
+// Frac1Byte returns the 1-byte-resolution overflow fraction.
+func (b *BranchOffsetUsage) Frac1Byte() float64 { return frac(b.TooNarrow1Byte, b.RelativeBranches) }
+
+// Frac4Bit returns the 4-bit-resolution overflow fraction.
+func (b *BranchOffsetUsage) Frac4Bit() float64 { return frac(b.TooNarrow4Bit, b.RelativeBranches) }
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// AnalyzeBranchOffsets computes Table 1 for a program. A branch offset
+// field that today holds displacement/4 must hold displacement/r for
+// resolution r; the branch is "not wide enough" when that value exceeds
+// the field.
+func AnalyzeBranchOffsets(p *program.Program) *BranchOffsetUsage {
+	u := &BranchOffsetUsage{}
+	for _, w := range p.Text {
+		v, _, ok := ppc.FieldValue(w)
+		if !ok {
+			continue
+		}
+		u.RelativeBranches++
+		if !ppc.FitsField(w, v*2) {
+			u.TooNarrow2Byte++
+		}
+		if !ppc.FitsField(w, v*4) {
+			u.TooNarrow1Byte++
+		}
+		if !ppc.FitsField(w, v*8) {
+			u.TooNarrow4Bit++
+		}
+	}
+	return u
+}
+
+// PrologueEpilogue is one row of Table 3.
+type PrologueEpilogue struct {
+	TotalInsns    int
+	PrologueInsns int
+	EpilogueInsns int
+}
+
+// PrologueFrac is the prologue share of the program text.
+func (t *PrologueEpilogue) PrologueFrac() float64 { return frac(t.PrologueInsns, t.TotalInsns) }
+
+// EpilogueFrac is the epilogue share of the program text.
+func (t *PrologueEpilogue) EpilogueFrac() float64 { return frac(t.EpilogueInsns, t.TotalInsns) }
+
+// AnalyzePrologueEpilogue computes Table 3 from the compiler's markers.
+func AnalyzePrologueEpilogue(p *program.Program) *PrologueEpilogue {
+	t := &PrologueEpilogue{TotalInsns: len(p.Text)}
+	for _, r := range p.Prologue {
+		t.PrologueInsns += r.Len()
+	}
+	for _, r := range p.Epilogue {
+		t.EpilogueInsns += r.Len()
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package program_test
+
+// External test package: executing assembled source needs the machine,
+// which imports program — so these tests live outside the package.
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/program"
+)
+
+func TestAssembledDataProgramExecutes(t *testing.T) {
+	src := `
+.data table
+    .word 10, 20
+.data msg
+    .asciz "ok"
+
+.func main
+    la   r9, table
+    lwz  r3, 0(r9)
+    lwz  r4, 4(r9)
+    add  r3, r3, r4    # 30
+    la   r5, msg
+    lbz  r6, 0(r5)     # 'o' = 111
+    add  r3, r3, r6    # 141
+    li   r0, 0
+    sc
+`
+	p, err := program.AssembleSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := machine.NewForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := cpu.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 141 {
+		t.Fatalf("status %d, want 141", status)
+	}
+}
+
+func TestAssembledPutsString(t *testing.T) {
+	src := `
+.data msg
+    .asciz "hello from .data"
+
+.func main
+    la  r3, msg
+    li  r0, 3          # puts
+    sc
+    li  r3, 0
+    li  r0, 0
+    sc
+`
+	p, err := program.AssembleSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := machine.NewForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(cpu.Output()); got != "hello from .data" {
+		t.Fatalf("output %q", got)
+	}
+}

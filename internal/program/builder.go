@@ -1,0 +1,278 @@
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ppc"
+)
+
+// Builder assembles a module from functions emitted with symbolic branch
+// targets, then links everything into a Program. It is the interface
+// between the synthetic compiler and the binary world.
+type Builder struct {
+	name     string
+	funcs    []*FuncBuilder
+	byName   map[string]*FuncBuilder
+	data     []byte
+	jtSlots  []int
+	jtLabels []jtFixup // data-slot → label fixups resolved at link time
+	entry    string
+}
+
+type jtFixup struct {
+	slot  int    // byte offset in data
+	fn    string // owning function (label scope)
+	label string
+}
+
+// NewBuilder creates an empty module builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: map[string]*FuncBuilder{}}
+}
+
+// Func starts a new function and returns its builder. Function order
+// determines layout order.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if _, dup := b.byName[name]; dup {
+		panic(fmt.Sprintf("program: duplicate function %q", name))
+	}
+	f := &FuncBuilder{mod: b, name: name, labels: map[string]int{}}
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+	return f
+}
+
+// SetEntry selects the entry function (default: the first one).
+func (b *Builder) SetEntry(fn string) { b.entry = fn }
+
+// Words returns the number of instruction words emitted so far across all
+// functions. Generators use it to grow modules toward a size target.
+func (b *Builder) Words() int {
+	n := 0
+	for _, f := range b.funcs {
+		n += len(f.words)
+	}
+	return n
+}
+
+// AppendData reserves initialized bytes in the data section and returns
+// their byte offset.
+func (b *Builder) AppendData(bytes []byte) int {
+	off := len(b.data)
+	b.data = append(b.data, bytes...)
+	return off
+}
+
+// ReserveData reserves n zero bytes, aligned to align, returning the offset.
+func (b *Builder) ReserveData(n, align int) int {
+	for len(b.data)%align != 0 {
+		b.data = append(b.data, 0)
+	}
+	off := len(b.data)
+	b.data = append(b.data, make([]byte, n)...)
+	return off
+}
+
+// AppendDataAligned appends initialized bytes at the given alignment and
+// returns their offset.
+func (b *Builder) AppendDataAligned(bytes []byte, align int) int {
+	for len(b.data)%align != 0 {
+		b.data = append(b.data, 0)
+	}
+	off := len(b.data)
+	b.data = append(b.data, bytes...)
+	return off
+}
+
+// FuncBuilder accumulates the instructions of one function.
+type FuncBuilder struct {
+	mod    *Builder
+	name   string
+	words  []uint32
+	labels map[string]int // local label → word index within function
+
+	// fixups to resolve at link time
+	branches []branchFixup
+
+	prologue []Range
+	epilogue []Range
+	markOpen int // -1 when no marker open
+	markKind int // 0 none, 1 prologue, 2 epilogue
+}
+
+type branchFixup struct {
+	word   int    // word index within function
+	label  string // local label or function symbol
+	global bool
+}
+
+// Len returns the number of words emitted so far.
+func (f *FuncBuilder) Len() int { return len(f.words) }
+
+// Emit appends a fully encoded instruction word.
+func (f *FuncBuilder) Emit(w uint32) { f.words = append(f.words, w) }
+
+// Label binds a local label at the current position.
+func (f *FuncBuilder) Label(name string) {
+	if _, dup := f.labels[name]; dup {
+		panic(fmt.Sprintf("program: duplicate label %q in %s", name, f.name))
+	}
+	f.labels[name] = len(f.words)
+}
+
+// NewLabel generates a unique local label name.
+func (f *FuncBuilder) NewLabel(prefix string) string {
+	return fmt.Sprintf(".%s%d", prefix, len(f.branches)+len(f.labels)+len(f.words))
+}
+
+// Branch emits a relative branch word whose displacement will be resolved
+// to the local label at link time. The word's displacement field must be
+// zero on entry.
+func (f *FuncBuilder) Branch(w uint32, label string) {
+	if !ppc.IsRelativeBranch(w) {
+		panic("program: Branch requires a relative branch word")
+	}
+	f.branches = append(f.branches, branchFixup{word: len(f.words), label: label})
+	f.words = append(f.words, w)
+}
+
+// Call emits bl to a function symbol.
+func (f *FuncBuilder) Call(fn string) {
+	f.branches = append(f.branches, branchFixup{word: len(f.words), label: fn, global: true})
+	f.words = append(f.words, ppc.Bl(0))
+}
+
+// Goto emits b to a function symbol (tail position).
+func (f *FuncBuilder) Goto(fn string) {
+	f.branches = append(f.branches, branchFixup{word: len(f.words), label: fn, global: true})
+	f.words = append(f.words, ppc.B(0))
+}
+
+// BeginPrologue/EndPrologue bracket the standard entry template.
+func (f *FuncBuilder) BeginPrologue() { f.markOpen, f.markKind = len(f.words), 1 }
+
+// EndPrologue closes the prologue marker.
+func (f *FuncBuilder) EndPrologue() {
+	f.prologue = append(f.prologue, Range{f.markOpen, len(f.words)})
+	f.markKind = 0
+}
+
+// BeginEpilogue/EndEpilogue bracket the standard exit template.
+func (f *FuncBuilder) BeginEpilogue() { f.markOpen, f.markKind = len(f.words), 2 }
+
+// EndEpilogue closes the epilogue marker.
+func (f *FuncBuilder) EndEpilogue() {
+	f.epilogue = append(f.epilogue, Range{f.markOpen, len(f.words)})
+	f.markKind = 0
+}
+
+// JumpTable emits the canonical GCC-style computed-goto sequence for a
+// switch on idxReg (0-based, caller bounds-checked), dispatching to the
+// given local labels, and allocates the table in the data section:
+//
+//	lis   tmp, hi(table)
+//	ori   tmp, tmp, lo(table)
+//	slwi  tmp2, idxReg, 2
+//	lwzx  tmp, tmp, tmp2
+//	mtctr tmp
+//	bctr
+//
+// The table slots are registered for post-compression patching, per the
+// paper's assumption that jump tables live in .data and are patched with
+// post-compression addresses.
+func (f *FuncBuilder) JumpTable(idxReg, tmp, tmp2 uint8, labels []string) {
+	off := f.mod.ReserveData(4*len(labels), 4)
+	addr := uint32(DefaultDataBase + off)
+	f.Emit(ppc.Lis(tmp, int32(int16(addr>>16))))
+	f.Emit(ppc.Ori(tmp, tmp, int32(addr&0xFFFF)))
+	f.Emit(ppc.Slwi(tmp2, idxReg, 2))
+	f.Emit(ppc.Lwzx(tmp, tmp, tmp2))
+	f.Emit(ppc.Mtctr(tmp))
+	f.Emit(ppc.Bctr())
+	for i, lab := range labels {
+		slot := off + 4*i
+		f.mod.jtSlots = append(f.mod.jtSlots, slot)
+		f.mod.jtLabels = append(f.mod.jtLabels, jtFixup{slot: slot, fn: f.name, label: lab})
+	}
+}
+
+// Link lays out all functions, resolves branch displacements and jump
+// tables, and returns the linked Program.
+func (b *Builder) Link() (*Program, error) {
+	p := &Program{
+		Name:     b.name,
+		TextBase: DefaultTextBase,
+		DataBase: DefaultDataBase,
+	}
+	starts := map[string]int{}
+	for _, f := range b.funcs {
+		if f.markKind != 0 {
+			return nil, fmt.Errorf("program: %s has an unclosed marker", f.name)
+		}
+		start := len(p.Text)
+		starts[f.name] = start
+		p.Symbols = append(p.Symbols, Symbol{Name: f.name, Word: start})
+		p.Text = append(p.Text, f.words...)
+		for _, r := range f.prologue {
+			p.Prologue = append(p.Prologue, Range{r.Start + start, r.End + start})
+		}
+		for _, r := range f.epilogue {
+			p.Epilogue = append(p.Epilogue, Range{r.Start + start, r.End + start})
+		}
+	}
+	// Resolve branch fixups.
+	for _, f := range b.funcs {
+		base := starts[f.name]
+		for _, fx := range f.branches {
+			var target int
+			if fx.global {
+				t, ok := starts[fx.label]
+				if !ok {
+					return nil, fmt.Errorf("program: %s calls undefined function %q", f.name, fx.label)
+				}
+				target = t
+			} else {
+				t, ok := f.labels[fx.label]
+				if !ok {
+					return nil, fmt.Errorf("program: undefined label %q in %s", fx.label, f.name)
+				}
+				target = base + t
+			}
+			at := base + fx.word
+			disp := int32(target-at) * 4
+			w := p.Text[at]
+			nw, err := ppc.SetField(w, disp/4)
+			if err != nil {
+				return nil, fmt.Errorf("program: branch at %s+%d to %q: %v", f.name, fx.word, fx.label, err)
+			}
+			p.Text[at] = nw
+		}
+	}
+	// Resolve jump tables.
+	p.Data = append([]byte(nil), b.data...)
+	p.JumpTableSlots = append([]int(nil), b.jtSlots...)
+	for _, fx := range b.jtLabels {
+		f := b.byName[fx.fn]
+		t, ok := f.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("program: jump table in %s references undefined label %q", fx.fn, fx.label)
+		}
+		addr := p.WordAddr(starts[fx.fn] + t)
+		binary.BigEndian.PutUint32(p.Data[fx.slot:], addr)
+	}
+	// Entry point.
+	entry := b.entry
+	if entry == "" && len(b.funcs) > 0 {
+		entry = b.funcs[0].name
+	}
+	e, ok := starts[entry]
+	if !ok {
+		return nil, fmt.Errorf("program: entry function %q not defined", entry)
+	}
+	p.Entry = e
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,785 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// Register discipline of the synthetic compiler. Everything is fixed and
+// deterministic so that identical source shapes translate to identical
+// instruction encodings — the redundancy source the paper exploits.
+const (
+	tempBase    = 3  // expression temporaries r3..r8, stack-allocated
+	tempLimit   = 8  // deepest temporary
+	addrReg     = 11 // address formation
+	addrReg2    = 12 // jump-table scratch
+	maxRegLoc   = 4  // register locals r31..r28 in non-leaf functions
+	leafLocBase = 9  // leaf-function locals r9, r10
+	maxLeafLoc  = 2
+)
+
+// globalInfo records where a global landed in the data section.
+type globalInfo struct {
+	addr uint32
+	len  int
+	elem int // element size in bytes: 1, 2 or 4
+}
+
+// Codegen translates IR modules through fixed SDTS templates into a
+// program.Builder.
+type Codegen struct {
+	b       *program.Builder
+	globals map[string]globalInfo
+
+	// StandardizeSaves implements the paper's §5 proposal: every framed
+	// function saves all four nonvolatile registers with a fixed 64-byte
+	// frame, whether it needs them or not. The program grows, but every
+	// prologue and epilogue becomes bit-identical and compresses to a
+	// single codeword ("decrease code size at the expense of execution
+	// time").
+	StandardizeSaves bool
+
+	// ScrambleAlloc is the converse of §5's register-allocation claim:
+	// it deterministically randomizes each function's local-to-register
+	// assignment and stack-slot layout, the way an unconstrained
+	// allocator might. Semantics are unchanged, but identical source
+	// shapes stop producing identical encodings and compression suffers.
+	ScrambleAlloc bool
+
+	scrambleState uint32
+}
+
+// scramble is a tiny deterministic xorshift stream for ScrambleAlloc.
+func (cg *Codegen) scramble(n int) int {
+	s := cg.scrambleState
+	if s == 0 {
+		s = 0x9E3779B9
+	}
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	cg.scrambleState = s
+	return int(s % uint32(n))
+}
+
+// standardFrame is the fixed frame size under StandardizeSaves. It covers
+// the worst case the generator produces: 12 bytes of link area, up to 4
+// stack locals and 4 saved registers.
+const standardFrame = 64
+
+// NewCodegen creates a code generator targeting a fresh module builder.
+func NewCodegen(name string) *Codegen {
+	return &Codegen{b: program.NewBuilder(name), globals: map[string]globalInfo{}}
+}
+
+// Builder exposes the underlying module builder (for libc emission and
+// drivers).
+func (cg *Codegen) Builder() *program.Builder { return cg.b }
+
+// DeclareGlobals allocates data-section storage for every global.
+func (cg *Codegen) DeclareGlobals(globals []*Global) error {
+	for _, g := range globals {
+		if g.Len < 1 || g.Len&(g.Len-1) != 0 {
+			return fmt.Errorf("synth: global %s length %d not a power of two", g.Name, g.Len)
+		}
+		elem := g.Elem
+		switch elem {
+		case 0:
+			elem = 4
+		case 1, 2, 4:
+		default:
+			return fmt.Errorf("synth: global %s element size %d", g.Name, g.Elem)
+		}
+		if len(g.Init) > g.Len {
+			return fmt.Errorf("synth: global %s has %d initializers for %d elements", g.Name, len(g.Init), g.Len)
+		}
+		data := make([]byte, elem*g.Len)
+		for i, v := range g.Init {
+			switch elem {
+			case 1:
+				data[i] = byte(v)
+			case 2:
+				data[2*i] = byte(uint16(v) >> 8)
+				data[2*i+1] = byte(v)
+			default:
+				u := uint32(v)
+				data[4*i] = byte(u >> 24)
+				data[4*i+1] = byte(u >> 16)
+				data[4*i+2] = byte(u >> 8)
+				data[4*i+3] = byte(u)
+			}
+		}
+		off := cg.b.AppendDataAligned(data, 4)
+		cg.globals[g.Name] = globalInfo{addr: uint32(program.DefaultDataBase + off), len: g.Len, elem: elem}
+	}
+	return nil
+}
+
+// CompileModule declares globals and compiles every function.
+func (cg *Codegen) CompileModule(m *Module) error {
+	if err := cg.DeclareGlobals(m.Globals); err != nil {
+		return err
+	}
+	for _, fn := range m.Funcs {
+		if err := cg.CompileFunc(fn); err != nil {
+			return fmt.Errorf("synth: %s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
+
+// Link finalizes the module.
+func (cg *Codegen) Link() (*program.Program, error) { return cg.b.Link() }
+
+// fctx is the per-function compilation state.
+type fctx struct {
+	cg     *Codegen
+	f      *program.FuncBuilder
+	fn     *FuncDecl
+	regLoc []uint8 // local → register, 0 when stack-resident
+	off    []int32 // local → frame offset, valid when regLoc == 0
+	frame  int32
+	nsave  int
+	labels int
+
+	// crMap and aReg/aReg2 are identity under the canonical allocator;
+	// ScrambleAlloc permutes them per function.
+	crMap [8]uint8
+	aReg  uint8
+	aReg2 uint8
+}
+
+// initAlloc sets up the (possibly scrambled) allocation maps.
+func (c *fctx) initAlloc() {
+	for i := range c.crMap {
+		c.crMap[i] = uint8(i)
+	}
+	c.aReg, c.aReg2 = addrReg, addrReg2
+	if !c.cg.ScrambleAlloc {
+		return
+	}
+	// Permute the condition fields the templates actually use.
+	used := []uint8{0, 1, 7}
+	for i := len(used) - 1; i > 0; i-- {
+		j := c.cg.scramble(i + 1)
+		used[i], used[j] = used[j], used[i]
+	}
+	c.crMap[0], c.crMap[1], c.crMap[7] = used[0], used[1], used[2]
+	if c.cg.scramble(2) == 1 {
+		c.aReg, c.aReg2 = addrReg2, addrReg
+	}
+}
+
+func (c *fctx) cr(f uint8) uint8 { return c.crMap[f&7] }
+
+func (c *fctx) newLabel() string {
+	c.labels++
+	return fmt.Sprintf(".L%d", c.labels)
+}
+
+// CompileFunc translates one function.
+func (cg *Codegen) CompileFunc(fn *FuncDecl) error {
+	c := &fctx{cg: cg, f: cg.b.Func(fn.Name), fn: fn}
+	if fn.Leaf {
+		return c.compileLeaf()
+	}
+	return c.compileFramed()
+}
+
+func (c *fctx) compileLeaf() error {
+	c.initAlloc()
+	fn := c.fn
+	if fn.NLocals > maxLeafLoc || fn.NParams > fn.NLocals {
+		return fmt.Errorf("leaf function with %d locals / %d params", fn.NLocals, fn.NParams)
+	}
+	c.regLoc = make([]uint8, fn.NLocals)
+	c.off = make([]int32, fn.NLocals)
+	for i := 0; i < fn.NLocals; i++ {
+		c.regLoc[i] = uint8(leafLocBase + i)
+	}
+	// Parameter copy: the template always moves arguments into their home
+	// registers, even when a smarter allocator could avoid it.
+	for i := 0; i < fn.NParams; i++ {
+		c.f.Emit(ppc.Mr(c.regLoc[i], uint8(tempBase+i)))
+	}
+	c.zeroLocals(fn)
+	for _, s := range fn.Body {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	c.f.Emit(ppc.Li(tempBase, 0)) // implicit return value
+	c.f.Label(".ret")
+	c.f.BeginEpilogue()
+	c.f.Emit(ppc.Blr())
+	c.f.EndEpilogue()
+	return nil
+}
+
+func (c *fctx) compileFramed() error {
+	c.initAlloc()
+	fn := c.fn
+	if fn.NParams > fn.NLocals {
+		return fmt.Errorf("%d params exceed %d locals", fn.NParams, fn.NLocals)
+	}
+	if fn.NParams > 5 {
+		return fmt.Errorf("too many parameters (%d)", fn.NParams)
+	}
+	nreg := fn.NLocals
+	if nreg > maxRegLoc {
+		nreg = maxRegLoc
+	}
+	c.nsave = nreg
+	if c.cg.StandardizeSaves {
+		c.nsave = maxRegLoc
+	}
+	c.regLoc = make([]uint8, fn.NLocals)
+	c.off = make([]int32, fn.NLocals)
+	nstack := 0
+	if c.cg.ScrambleAlloc {
+		// Unconstrained-allocator model: locals land in the nonvolatile
+		// registers in a per-function order, and stack slots are assigned
+		// with per-function gaps.
+		order := make([]int, fn.NLocals)
+		for i := range order {
+			order[i] = i
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			j := c.cg.scramble(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		reg := 0
+		slot := 0
+		for _, idx := range order {
+			if reg < nreg {
+				c.regLoc[idx] = uint8(31 - reg)
+				reg++
+				continue
+			}
+			slot += c.cg.scramble(2) // occasional one-slot gap
+			c.off[idx] = int32(12 + 4*slot)
+			slot++
+			nstack = slot
+		}
+	} else {
+		for i := 0; i < fn.NLocals; i++ {
+			if i < nreg {
+				c.regLoc[i] = uint8(31 - i)
+			} else {
+				c.off[i] = int32(12 + 4*nstack)
+				nstack++
+			}
+		}
+	}
+	// Frame: [0..3] back chain, [4..7] pad, [8..11] LR-save slot written
+	// by callees (each callee stores LR at 8(its caller's SP) before
+	// stwu), locals from 12, saved nonvolatiles at the top.
+	frame := int32(12 + 4*nstack + 4*c.nsave)
+	frame = (frame + 15) &^ 15
+	if c.cg.StandardizeSaves {
+		if frame > standardFrame {
+			return fmt.Errorf("frame %d exceeds the standardized %d bytes", frame, standardFrame)
+		}
+		frame = standardFrame
+	}
+	c.frame = frame
+
+	// The templates save and restore nonvolatiles one register at a time,
+	// the way GCC -O2 schedules them; the resulting repeated stw/lwz runs
+	// are a prime compression target (§5's prologue observation).
+	c.f.BeginPrologue()
+	c.f.Emit(ppc.Mflr(0))
+	c.f.Emit(ppc.Stw(0, 8, 1))
+	c.f.Emit(ppc.Stwu(1, -frame, 1))
+	for i := 0; i < c.nsave; i++ {
+		c.f.Emit(ppc.Stw(uint8(31-i), frame-int32(4+4*i), 1))
+	}
+	c.f.EndPrologue()
+
+	// Parameter copy into locals.
+	for i := 0; i < fn.NParams; i++ {
+		src := uint8(tempBase + i)
+		if r := c.regLoc[i]; r != 0 {
+			c.f.Emit(ppc.Mr(r, src))
+		} else {
+			c.f.Emit(ppc.Stw(src, c.off[i], 1))
+		}
+	}
+
+	// Zero-initialize the remaining locals. Beyond matching C semantics
+	// for the generated programs, this keeps execution independent of
+	// stale register and stack contents — essential for comparing the
+	// normal and compressed machines instruction for instruction.
+	c.zeroLocals(fn)
+
+	// Depth guard: local 0 is the depth budget; non-positive budgets
+	// return a constant immediately. This bounds all dynamic call trees.
+	if fn.NParams > 0 {
+		body := c.newLabel()
+		c.loadLocal(tempBase, 0)
+		c.f.Emit(ppc.Cmpwi(c.cr(1), tempBase, 0))
+		c.f.Branch(ppc.Bgt(c.cr(1), 0), body)
+		c.f.Emit(ppc.Li(tempBase, 1))
+		c.f.Branch(ppc.B(0), ".ret")
+		c.f.Label(body)
+	}
+
+	for _, s := range fn.Body {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	c.f.Emit(ppc.Li(tempBase, 0))
+	c.f.Label(".ret")
+	c.f.BeginEpilogue()
+	for i := c.nsave - 1; i >= 0; i-- {
+		c.f.Emit(ppc.Lwz(uint8(31-i), frame-int32(4+4*i), 1))
+	}
+	c.f.Emit(ppc.Addi(1, 1, frame))
+	c.f.Emit(ppc.Lwz(0, 8, 1))
+	c.f.Emit(ppc.Mtlr(0))
+	c.f.Emit(ppc.Blr())
+	c.f.EndEpilogue()
+	return nil
+}
+
+// zeroLocals initializes every non-parameter local to zero.
+func (c *fctx) zeroLocals(fn *FuncDecl) {
+	if fn.NParams >= fn.NLocals {
+		return
+	}
+	c.f.Emit(ppc.Li(tempBase, 0))
+	for i := fn.NParams; i < fn.NLocals; i++ {
+		c.storeLocal(i, tempBase)
+	}
+}
+
+// loadLocal materializes a local into reg.
+func (c *fctx) loadLocal(reg uint8, idx int) {
+	if r := c.regLoc[idx]; r != 0 {
+		if r != reg {
+			c.f.Emit(ppc.Mr(reg, r))
+		}
+		return
+	}
+	c.f.Emit(ppc.Lwz(reg, c.off[idx], 1))
+}
+
+// storeLocal writes reg into a local.
+func (c *fctx) storeLocal(idx int, reg uint8) {
+	if r := c.regLoc[idx]; r != 0 {
+		if r != reg {
+			c.f.Emit(ppc.Mr(r, reg))
+		}
+		return
+	}
+	c.f.Emit(ppc.Stw(reg, c.off[idx], 1))
+}
+
+// ha/lo split an address for the lis+d(reg) addressing template.
+func haLo(addr uint32) (int32, int32) {
+	lo := int32(int16(uint16(addr)))
+	ha := int32(int16(uint16((addr - uint32(lo)) >> 16)))
+	return ha, lo
+}
+
+func (c *fctx) global(name string) (globalInfo, error) {
+	gi, ok := c.cg.globals[name]
+	if !ok {
+		return gi, fmt.Errorf("undefined global %q", name)
+	}
+	return gi, nil
+}
+
+// eval translates an expression into dst, using dst+1.. as temporaries —
+// the fixed Sethi–Ullman-style stack discipline.
+func (c *fctx) eval(e Expr, dst uint8) error {
+	if dst > tempLimit {
+		return fmt.Errorf("expression too deep (temp r%d)", dst)
+	}
+	switch x := e.(type) {
+	case Const:
+		if x.Val >= math.MinInt16 && x.Val <= math.MaxInt16 {
+			c.f.Emit(ppc.Li(dst, x.Val))
+		} else {
+			c.f.Emit(ppc.Lis(dst, int32(int16(uint16(uint32(x.Val)>>16)))))
+			c.f.Emit(ppc.Ori(dst, dst, int32(uint32(x.Val)&0xFFFF)))
+		}
+	case Local:
+		c.loadLocal(dst, x.Idx)
+	case GlobalRef:
+		gi, err := c.global(x.Name)
+		if err != nil {
+			return err
+		}
+		ha, lo := haLo(gi.addr)
+		c.f.Emit(ppc.Lis(c.aReg, ha))
+		c.f.Emit(ppc.Lwz(dst, lo, c.aReg))
+	case ArrayRef:
+		gi, err := c.global(x.Name)
+		if err != nil {
+			return err
+		}
+		if err := c.eval(x.Idx, dst); err != nil {
+			return err
+		}
+		c.maskIndex(dst, gi.len)
+		c.scaleIndex(dst, gi.elem)
+		ha, lo := haLo(gi.addr)
+		c.f.Emit(ppc.Lis(c.aReg, ha))
+		c.f.Emit(ppc.Addi(c.aReg, c.aReg, lo))
+		switch gi.elem {
+		case 1:
+			c.f.Emit(ppc.Lbzx(dst, c.aReg, dst))
+		case 2:
+			c.f.Emit(ppc.Lhzx(dst, c.aReg, dst))
+		default:
+			c.f.Emit(ppc.Lwzx(dst, c.aReg, dst))
+		}
+	case UnOp:
+		if err := c.eval(x.X, dst); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "neg":
+			c.f.Emit(ppc.Neg(dst, dst))
+		case "not":
+			c.f.Emit(ppc.Nor(dst, dst, dst))
+		default:
+			return fmt.Errorf("unknown unary op %q", x.Op)
+		}
+	case BinOp:
+		if err := c.eval(x.L, dst); err != nil {
+			return err
+		}
+		if err := c.eval(x.R, dst+1); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "+":
+			c.f.Emit(ppc.Add(dst, dst, dst+1))
+		case "-":
+			c.f.Emit(ppc.Subf(dst, dst+1, dst))
+		case "*":
+			c.f.Emit(ppc.Mullw(dst, dst, dst+1))
+		case "/":
+			c.f.Emit(ppc.Divw(dst, dst, dst+1))
+		case "&":
+			c.f.Emit(ppc.And(dst, dst, dst+1))
+		case "|":
+			c.f.Emit(ppc.Or(dst, dst, dst+1))
+		case "^":
+			c.f.Emit(ppc.Xor(dst, dst, dst+1))
+		default:
+			return fmt.Errorf("unknown binary op %q", x.Op)
+		}
+	case BinImm:
+		if err := c.eval(x.L, dst); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "+":
+			c.f.Emit(ppc.Addi(dst, dst, x.Imm))
+		case "&":
+			c.f.Emit(ppc.AndiRc(dst, dst, x.Imm))
+		case "|":
+			c.f.Emit(ppc.Ori(dst, dst, x.Imm))
+		case "^":
+			c.f.Emit(ppc.Xori(dst, dst, x.Imm))
+		case "<<":
+			c.f.Emit(ppc.Slwi(dst, dst, uint8(x.Imm&31)))
+		case ">>":
+			c.f.Emit(ppc.Srawi(dst, dst, uint8(x.Imm&31)))
+		case "mask":
+			c.f.Emit(ppc.Clrlwi(dst, dst, uint8(x.Imm&31)))
+		default:
+			return fmt.Errorf("unknown immediate op %q", x.Op)
+		}
+	default:
+		return fmt.Errorf("unknown expression %T", e)
+	}
+	return nil
+}
+
+// scaleIndex converts an element index to a byte offset.
+func (c *fctx) scaleIndex(reg uint8, elem int) {
+	switch elem {
+	case 2:
+		c.f.Emit(ppc.Slwi(reg, reg, 1))
+	case 4, 0:
+		c.f.Emit(ppc.Slwi(reg, reg, 2))
+	}
+}
+
+// maskIndex clamps an array index to [0, len) via clrlwi, relying on
+// power-of-two lengths.
+func (c *fctx) maskIndex(reg uint8, length int) {
+	bits := 0
+	for 1<<bits < length {
+		bits++
+	}
+	if bits >= 32 {
+		return
+	}
+	c.f.Emit(ppc.Clrlwi(reg, reg, uint8(32-bits)))
+}
+
+// condBranch emits the compare for cond and a branch to label taken when
+// the condition evaluates to `when`.
+func (c *fctx) condBranch(cond Cond, when bool, label string) error {
+	if err := c.eval(cond.L, tempBase); err != nil {
+		return err
+	}
+	crf := c.cr(cond.CRF)
+	if cond.R != nil {
+		if err := c.eval(cond.R, tempBase+1); err != nil {
+			return err
+		}
+		if cond.Unsigned {
+			c.f.Emit(ppc.Cmplw(crf, tempBase, tempBase+1))
+		} else {
+			c.f.Emit(ppc.Cmpw(crf, tempBase, tempBase+1))
+		}
+	} else {
+		if cond.Unsigned {
+			c.f.Emit(ppc.Cmplwi(crf, tempBase, cond.Imm))
+		} else {
+			c.f.Emit(ppc.Cmpwi(crf, tempBase, cond.Imm))
+		}
+	}
+	rel := cond.Rel
+	if !when {
+		rel = negateRel(rel)
+	}
+	var w uint32
+	switch rel {
+	case "==":
+		w = ppc.Beq(crf, 0)
+	case "!=":
+		w = ppc.Bne(crf, 0)
+	case "<":
+		w = ppc.Blt(crf, 0)
+	case "<=":
+		w = ppc.Ble(crf, 0)
+	case ">":
+		w = ppc.Bgt(crf, 0)
+	case ">=":
+		w = ppc.Bge(crf, 0)
+	default:
+		return fmt.Errorf("unknown relation %q", rel)
+	}
+	c.f.Branch(w, label)
+	return nil
+}
+
+func negateRel(rel string) string {
+	switch rel {
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return rel
+}
+
+// store writes r3 (the canonical result register) to an lvalue.
+func (c *fctx) store(dst LValue) error {
+	switch d := dst.(type) {
+	case LLocal:
+		c.storeLocal(d.Idx, tempBase)
+	case LGlobal:
+		gi, err := c.global(d.Name)
+		if err != nil {
+			return err
+		}
+		ha, lo := haLo(gi.addr)
+		c.f.Emit(ppc.Lis(c.aReg, ha))
+		c.f.Emit(ppc.Stw(tempBase, lo, c.aReg))
+	case LArray:
+		gi, err := c.global(d.Name)
+		if err != nil {
+			return err
+		}
+		if err := c.eval(d.Idx, tempBase+1); err != nil {
+			return err
+		}
+		c.maskIndex(tempBase+1, gi.len)
+		c.scaleIndex(tempBase+1, gi.elem)
+		ha, lo := haLo(gi.addr)
+		c.f.Emit(ppc.Lis(c.aReg, ha))
+		c.f.Emit(ppc.Addi(c.aReg, c.aReg, lo))
+		switch gi.elem {
+		case 1:
+			c.f.Emit(ppc.Stbx(tempBase, c.aReg, tempBase+1))
+		case 2:
+			c.f.Emit(ppc.Sthx(tempBase, c.aReg, tempBase+1))
+		default:
+			c.f.Emit(ppc.Stwx(tempBase, c.aReg, tempBase+1))
+		}
+	default:
+		return fmt.Errorf("unknown lvalue %T", dst)
+	}
+	return nil
+}
+
+func (c *fctx) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case Assign:
+		if err := c.eval(st.Src, tempBase); err != nil {
+			return err
+		}
+		return c.store(st.Dst)
+
+	case AssignCall:
+		if c.fn.Leaf {
+			return fmt.Errorf("call in leaf function")
+		}
+		argBase := tempBase
+		if !st.Libc {
+			// Generated callees take the decremented depth first.
+			c.loadLocal(tempBase, 0)
+			c.f.Emit(ppc.Addi(tempBase, tempBase, -1))
+			argBase = tempBase + 1
+		}
+		for i, a := range st.Args {
+			if err := c.eval(a, uint8(argBase+i)); err != nil {
+				return err
+			}
+		}
+		c.f.Call(st.Callee)
+		return c.store(st.Dst)
+
+	case If:
+		elseL := c.newLabel()
+		if err := c.condBranch(st.Cond, false, elseL); err != nil {
+			return err
+		}
+		for _, t := range st.Then {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		if len(st.Else) == 0 {
+			c.f.Label(elseL)
+			return nil
+		}
+		endL := c.newLabel()
+		c.f.Branch(ppc.B(0), endL)
+		c.f.Label(elseL)
+		for _, t := range st.Else {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		c.f.Label(endL)
+
+	case Loop:
+		if st.Step <= 0 {
+			return fmt.Errorf("non-positive loop step")
+		}
+		top, check := c.newLabel(), c.newLabel()
+		c.f.Emit(ppc.Li(tempBase, st.From))
+		c.storeLocal(st.Var, tempBase)
+		c.f.Branch(ppc.B(0), check)
+		c.f.Label(top)
+		for _, t := range st.Body {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		c.loadLocal(tempBase, st.Var)
+		c.f.Emit(ppc.Addi(tempBase, tempBase, st.Step))
+		c.storeLocal(st.Var, tempBase)
+		c.f.Label(check)
+		c.loadLocal(tempBase, st.Var)
+		c.f.Emit(ppc.Cmpwi(c.cr(0), tempBase, st.To))
+		c.f.Branch(ppc.Blt(c.cr(0), 0), top)
+
+	case Switch:
+		if len(st.Cases) < 2 {
+			return fmt.Errorf("switch with %d cases", len(st.Cases))
+		}
+		defL, endL := c.newLabel(), c.newLabel()
+		caseLs := make([]string, len(st.Cases))
+		for i := range st.Cases {
+			caseLs[i] = c.newLabel()
+		}
+		c.loadLocal(tempBase, st.Var)
+		c.f.Emit(ppc.Cmplwi(c.cr(0), tempBase, int32(len(st.Cases)-1)))
+		c.f.Branch(ppc.Bgt(c.cr(0), 0), defL)
+		c.f.JumpTable(tempBase, c.aReg, c.aReg2, caseLs)
+		for i, body := range st.Cases {
+			c.f.Label(caseLs[i])
+			for _, t := range body {
+				if err := c.stmt(t); err != nil {
+					return err
+				}
+			}
+			c.f.Branch(ppc.B(0), endL)
+		}
+		c.f.Label(defL)
+		for _, t := range st.Default {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		c.f.Label(endL)
+
+	case Return:
+		if err := c.eval(st.Val, tempBase); err != nil {
+			return err
+		}
+		c.f.Branch(ppc.B(0), ".ret")
+
+	case PutInt:
+		if err := c.eval(st.Val, tempBase); err != nil {
+			return err
+		}
+		c.f.Emit(ppc.Li(0, 2)) // machine.SysPutint
+		c.f.Emit(ppc.Sc())
+
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+	return nil
+}
+
+// EmitMain generates the driver: it invokes each root with the given depth
+// budget, accumulates results, prints the checksum and exits. The checksum
+// makes original-vs-compressed execution comparable byte for byte.
+func (cg *Codegen) EmitMain(roots []string, depth int32) {
+	f := cg.b.Func("main")
+	f.BeginPrologue()
+	f.Emit(ppc.Mflr(0))
+	f.Emit(ppc.Stw(0, 8, 1))
+	f.Emit(ppc.Stwu(1, -32, 1))
+	f.Emit(ppc.Stmw(30, 24, 1))
+	f.EndPrologue()
+	f.Emit(ppc.Li(30, 0)) // checksum
+	for _, r := range roots {
+		f.Emit(ppc.Li(3, depth))
+		f.Call(r)
+		f.Emit(ppc.Add(30, 30, 3))
+	}
+	f.Emit(ppc.Mr(3, 30))
+	f.Emit(ppc.Li(0, 2)) // putint
+	f.Emit(ppc.Sc())
+	f.Emit(ppc.Li(3, 10))
+	f.Emit(ppc.Li(0, 1)) // putchar '\n'
+	f.Emit(ppc.Sc())
+	f.Emit(ppc.Li(3, 0))
+	f.Emit(ppc.Li(0, 0)) // exit
+	f.Emit(ppc.Sc())
+	cg.b.SetEntry("main")
+}

@@ -1,0 +1,503 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile controls the shape of one synthetic benchmark. The eight SPEC
+// CINT95 stand-ins differ in size and statement mix; everything is
+// generated deterministically from the seed.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// TargetWords is the approximate text size in instruction words,
+	// excluding libc.
+	TargetWords int
+
+	// StmtsMin/StmtsMax bound the top-level statement count per function.
+	StmtsMin, StmtsMax int
+
+	// ExprDepth bounds expression-tree depth.
+	ExprDepth int
+
+	// LeafFrac is the fraction of leaf (frameless) functions.
+	LeafFrac float64
+
+	// Statement weights (relative).
+	WAssign, WIf, WLoop, WSwitch, WCall, WArray int
+
+	// MaxLocals bounds per-function locals (first ones land in r31..r28).
+	MaxLocals int
+
+	// Globals.
+	NScalars, NArrays int
+	ArrayLenPow       int // array lengths are 2..2^ArrayLenPow
+
+	// ImmRange bounds the magnitude of random immediates.
+	ImmRange int32
+
+	// CallWindow is how far ahead a function may call (DAG edge span).
+	CallWindow int
+
+	// LibcFrac is the probability that a call targets libc instead of a
+	// generated function.
+	LibcFrac float64
+
+	// SwitchMin/SwitchMax bound jump-table case counts.
+	SwitchMin, SwitchMax int
+
+	// MainRoots and MainDepth shape the driver.
+	MainRoots int
+	MainDepth int32
+
+	// MegaFuncs is the number of huge straight-line functions (the
+	// gcc-style interpreter/codegen monsters). Their long if-blocks give
+	// conditional branches large displacements, producing Table 1's
+	// offset-overflow tails and exercising the far-branch stub path.
+	MegaFuncs int
+
+	// MegaSpan bounds the statement count of a mega function's big
+	// if-blocks.
+	MegaSpan [2]int
+
+	// StandardizeSaves switches the code generator to the paper's §5
+	// compiler-cooperation mode: identical full-save prologues and
+	// epilogues everywhere (bigger program, better compression).
+	StandardizeSaves bool
+
+	// ScrambleAlloc randomizes per-function register/stack allocation —
+	// the anti-§5 compiler. Same semantics, worse compression.
+	ScrambleAlloc bool
+}
+
+// gen carries generation state.
+type gen struct {
+	p       Profile
+	rng     *rand.Rand
+	nfuncs  int
+	scalars []string
+	arrays  []string
+
+	// locked marks locals serving as induction variables of enclosing
+	// loops; assigning to them could produce non-terminating loops.
+	locked map[int]bool
+}
+
+// freeLocal picks a local that is not an active induction variable (nor
+// the depth budget). It returns -1 when every local is locked; callers
+// must then write somewhere else.
+func (g *gen) freeLocal(nlocals int) int {
+	for try := 0; try < 8; try++ {
+		idx := g.rng.Intn(nlocals)
+		if !g.locked[idx] {
+			return idx
+		}
+	}
+	for idx := nlocals - 1; idx >= 0; idx-- {
+		if !g.locked[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// estWordsPerFunc is the calibration constant converting the target word
+// count into a function count; validated by TestGeneratedSizes.
+const estWordsPerFunc = 72
+
+// GenerateModule produces the IR module for a profile, estimating the
+// function count from the size target. GenerateModuleN overrides the
+// count (the size-calibration second pass).
+func GenerateModule(p Profile) (*Module, error) {
+	n := p.TargetWords / estWordsPerFunc
+	return GenerateModuleN(p, n)
+}
+
+// GenerateModuleN produces the IR module with an explicit function count.
+func GenerateModuleN(p Profile, nfuncs int) (*Module, error) {
+	if p.StmtsMin < 1 || p.StmtsMax < p.StmtsMin {
+		return nil, fmt.Errorf("synth: bad statement bounds in profile %s", p.Name)
+	}
+	g := &gen{
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	g.nfuncs = nfuncs
+	if g.nfuncs < 3 {
+		g.nfuncs = 3
+	}
+
+	m := &Module{Name: p.Name}
+	for i := 0; i < p.NScalars; i++ {
+		name := fmt.Sprintf("g%02d", i)
+		g.scalars = append(g.scalars, name)
+		m.Globals = append(m.Globals, &Global{Name: name, Len: 1})
+	}
+	for i := 0; i < p.NArrays; i++ {
+		name := fmt.Sprintf("a%02d", i)
+		length := 1 << (1 + g.rng.Intn(p.ArrayLenPow))
+		// Mostly word arrays, with a tail of byte and halfword tables
+		// (character classes, lookup tables — the lbz/stb traffic the
+		// paper's example code shows).
+		elem := []int{4, 4, 4, 4, 1, 1, 2}[g.rng.Intn(7)]
+		gl := &Global{Name: name, Len: length, Elem: elem}
+		// A third of the arrays are constant lookup tables with
+		// pre-initialized contents (character classes, coefficients, …).
+		if g.rng.Intn(3) == 0 {
+			gl.Init = make([]int32, length)
+			for j := range gl.Init {
+				gl.Init[j] = g.immVal()
+			}
+		}
+		g.arrays = append(g.arrays, name)
+		m.Globals = append(m.Globals, gl)
+	}
+	for i := 0; i < g.nfuncs; i++ {
+		m.Funcs = append(m.Funcs, g.genFunc(i))
+	}
+	return m, nil
+}
+
+func funcName(i int) string { return fmt.Sprintf("f%03d", i) }
+
+func (g *gen) genFunc(idx int) *FuncDecl {
+	g.locked = map[int]bool{}
+	if idx < g.p.MegaFuncs {
+		return g.genMega(idx)
+	}
+	if g.rng.Float64() < g.p.LeafFrac {
+		return g.genLeaf(idx)
+	}
+	return g.genFramed(idx)
+}
+
+// genMega produces a huge function dominated by long straight-line
+// if-blocks. The blocks execute at most once per invocation (no loops or
+// calls inside), so they are size-heavy but execution-cheap.
+func (g *gen) genMega(idx int) *FuncDecl {
+	g.locked[0] = true
+	nlocals := g.p.MaxLocals
+	if nlocals < 3 {
+		nlocals = 3
+	}
+	f := &FuncDecl{Name: funcName(idx), NParams: 2, NLocals: nlocals}
+	span := func() int {
+		lo, hi := g.p.MegaSpan[0], g.p.MegaSpan[1]
+		if hi <= lo {
+			return lo
+		}
+		return lo + g.rng.Intn(hi-lo)
+	}
+	straight := func(n int) []Stmt {
+		out := make([]Stmt, 0, n)
+		for i := 0; i < n; i++ {
+			if i > 0 && i%40 == 0 {
+				// A medium nested block populates the middle of the
+				// displacement distribution.
+				inner := If{Cond: g.genCond(nlocals, true)}
+				for j := 0; j < 16; j++ {
+					inner.Then = append(inner.Then, Assign{
+						Dst: g.genLValue(nlocals, j%3 == 0),
+						Src: g.genExpr(2, nlocals, true),
+					})
+				}
+				out = append(out, inner)
+				continue
+			}
+			out = append(out, Assign{
+				Dst: g.genLValue(nlocals, i%4 == 0),
+				Src: g.genExpr(2, nlocals, true),
+			})
+		}
+		return out
+	}
+	nBig := 2 + g.rng.Intn(2)
+	for b := 0; b < nBig; b++ {
+		f.Body = append(f.Body,
+			Assign{Dst: g.genLValue(nlocals, false), Src: g.genExpr(2, nlocals, true)},
+			If{Cond: g.genCond(nlocals, false), Then: straight(span())},
+		)
+	}
+	f.Body = append(f.Body, Return{Val: g.genExpr(2, nlocals, true)})
+	return f
+}
+
+// genLeaf produces a small frameless utility function.
+func (g *gen) genLeaf(idx int) *FuncDecl {
+	nparams := 1 + g.rng.Intn(2)
+	nlocals := nparams
+	f := &FuncDecl{Name: funcName(idx), NParams: nparams, NLocals: nlocals, Leaf: true}
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, Assign{
+			Dst: LLocal{Idx: g.rng.Intn(nlocals)},
+			Src: g.genExpr(2, nlocals, false),
+		})
+	}
+	if g.rng.Intn(2) == 0 {
+		f.Body = append(f.Body, If{
+			Cond: g.genCond(nlocals, false),
+			Then: []Stmt{Assign{Dst: LLocal{Idx: g.rng.Intn(nlocals)}, Src: g.genExpr(1, nlocals, false)}},
+		})
+	}
+	f.Body = append(f.Body, Return{Val: g.genExpr(2, nlocals, false)})
+	return f
+}
+
+// genFramed produces a standard function with prologue, depth guard and a
+// mixed statement body.
+func (g *gen) genFramed(idx int) *FuncDecl {
+	// Local 0 is the depth budget; writing to it would unbound the call
+	// tree, so it stays locked for the whole function.
+	g.locked[0] = true
+	nparams := 1 + g.rng.Intn(3) // depth + up to 2 user args
+	nlocals := nparams + g.rng.Intn(g.p.MaxLocals-nparams+1)
+	if nlocals < 2 {
+		nlocals = 2
+	}
+	f := &FuncDecl{Name: funcName(idx), NParams: nparams, NLocals: nlocals}
+	n := g.p.StmtsMin + g.rng.Intn(g.p.StmtsMax-g.p.StmtsMin+1)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, g.genStmt(idx, nlocals, 0))
+	}
+	f.Body = append(f.Body, Return{Val: g.genExpr(g.p.ExprDepth, nlocals, true)})
+	return f
+}
+
+// genStmt picks a statement by profile weight. nest limits structural
+// nesting so loops and switches stay shallow and execution stays bounded.
+func (g *gen) genStmt(fidx, nlocals, nest int) Stmt {
+	total := g.p.WAssign + g.p.WIf + g.p.WLoop + g.p.WSwitch + g.p.WCall + g.p.WArray
+	pick := g.rng.Intn(total)
+	switch {
+	case pick < g.p.WAssign:
+		return Assign{Dst: g.genLValue(nlocals, false), Src: g.genExpr(g.p.ExprDepth, nlocals, true)}
+	case pick < g.p.WAssign+g.p.WArray:
+		return Assign{Dst: g.genLValue(nlocals, true), Src: g.genExpr(g.p.ExprDepth-1, nlocals, true)}
+	case pick < g.p.WAssign+g.p.WArray+g.p.WIf:
+		return g.genIf(fidx, nlocals, nest)
+	case pick < g.p.WAssign+g.p.WArray+g.p.WIf+g.p.WLoop:
+		if nest >= 2 {
+			return Assign{Dst: g.genLValue(nlocals, false), Src: g.genExpr(g.p.ExprDepth, nlocals, true)}
+		}
+		return g.genLoop(fidx, nlocals, nest)
+	case pick < g.p.WAssign+g.p.WArray+g.p.WIf+g.p.WLoop+g.p.WSwitch:
+		if nest >= 1 {
+			return g.genIf(fidx, nlocals, nest)
+		}
+		return g.genSwitch(fidx, nlocals, nest)
+	default:
+		return g.genCall(fidx, nlocals)
+	}
+}
+
+func (g *gen) genIf(fidx, nlocals, nest int) Stmt {
+	st := If{Cond: g.genCond(nlocals, true)}
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		st.Then = append(st.Then, g.genStmt(fidx, nlocals, nest+1))
+	}
+	if g.rng.Intn(100) < 40 {
+		st.Else = append(st.Else, g.genStmt(fidx, nlocals, nest+1))
+	}
+	return st
+}
+
+func (g *gen) genLoop(fidx, nlocals, nest int) Stmt {
+	v := g.freeLocal(nlocals)
+	if v < 0 {
+		// No induction variable available; degrade to an assignment.
+		return Assign{Dst: g.genLValue(nlocals, false), Src: g.genExpr(g.p.ExprDepth, nlocals, true)}
+	}
+	st := Loop{
+		Var:  v,
+		From: 0,
+		To:   int32(2 + g.rng.Intn(3)),
+		Step: 1,
+	}
+	g.locked[v] = true
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		st.Body = append(st.Body, g.genStmt(fidx, nlocals, nest+1))
+	}
+	delete(g.locked, v)
+	return st
+}
+
+func (g *gen) genSwitch(fidx, nlocals, nest int) Stmt {
+	ncases := g.p.SwitchMin + g.rng.Intn(g.p.SwitchMax-g.p.SwitchMin+1)
+	st := Switch{Var: g.rng.Intn(nlocals)}
+	for i := 0; i < ncases; i++ {
+		st.Cases = append(st.Cases, []Stmt{g.genStmt(fidx, nlocals, nest+2)})
+	}
+	st.Default = []Stmt{Assign{Dst: g.genLValue(nlocals, false), Src: g.genExpr(1, nlocals, false)}}
+	return st
+}
+
+func (g *gen) genCall(fidx, nlocals int) Stmt {
+	dst := g.genLValue(nlocals, false)
+	// Prefer a generated callee within the DAG window; fall back to libc
+	// near the end of the module.
+	hi := fidx + g.p.CallWindow
+	if hi > g.nfuncs {
+		hi = g.nfuncs
+	}
+	if g.rng.Float64() >= g.p.LibcFrac && hi > fidx+1 {
+		callee := fidx + 1 + g.rng.Intn(hi-fidx-1)
+		nargs := g.rng.Intn(2)
+		args := make([]Expr, nargs)
+		for i := range args {
+			args[i] = g.genExpr(1, nlocals, false)
+		}
+		return AssignCall{Dst: dst, Callee: funcName(callee), Args: args}
+	}
+	name, nargs := libcCallables[g.rng.Intn(len(libcCallables))].pick()
+	args := make([]Expr, nargs)
+	for i := range args {
+		args[i] = g.genExpr(1, nlocals, false)
+	}
+	return AssignCall{Dst: dst, Callee: name, Libc: true, Args: args}
+}
+
+func (g *gen) genLValue(nlocals int, preferArray bool) LValue {
+	if preferArray && len(g.arrays) > 0 {
+		name := g.arrays[g.rng.Intn(len(g.arrays))]
+		return LArray{Name: name, Idx: g.genExpr(1, nlocals, false)}
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		if len(g.scalars) > 0 {
+			return LGlobal{Name: g.scalars[g.rng.Intn(len(g.scalars))]}
+		}
+	case 2:
+		if len(g.arrays) > 0 {
+			name := g.arrays[g.rng.Intn(len(g.arrays))]
+			return LArray{Name: name, Idx: g.genExpr(1, nlocals, false)}
+		}
+	}
+	if idx := g.freeLocal(nlocals); idx >= 0 {
+		return LLocal{Idx: idx}
+	}
+	// Every local is an active induction variable: write a global instead.
+	if len(g.scalars) > 0 {
+		return LGlobal{Name: g.scalars[g.rng.Intn(len(g.scalars))]}
+	}
+	if len(g.arrays) > 0 {
+		name := g.arrays[g.rng.Intn(len(g.arrays))]
+		return LArray{Name: name, Idx: g.genExpr(1, nlocals, false)}
+	}
+	// No globals exist (never the case for benchmark profiles): fall back
+	// to the last local, accepting a possibly self-resetting loop.
+	return LLocal{Idx: nlocals - 1}
+}
+
+// genExpr builds an expression of at most the given depth. Temporaries run
+// from r3 upward, so depth is bounded to keep the register stack inside
+// r3..r8.
+func (g *gen) genExpr(depth, nlocals int, allowMem bool) Expr {
+	if depth <= 0 {
+		return g.genLeafExpr(nlocals, allowMem)
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		return BinOp{Op: g.binOp(), L: g.genExpr(depth-1, nlocals, allowMem), R: g.genExpr(depth-1, nlocals, false)}
+	case 3, 4, 5:
+		op := g.immOp()
+		var imm int32
+		switch op {
+		case "&", "|", "^":
+			imm = g.immVal()
+			if imm < 0 {
+				imm = -imm
+			}
+		case "<<", ">>":
+			imm = 1 + int32(g.rng.Intn(12))
+		case "mask":
+			imm = 16 + int32(g.rng.Intn(15)) // keep the low 1..16 bits
+		default:
+			imm = g.immVal()
+		}
+		return BinImm{Op: op, L: g.genExpr(depth-1, nlocals, allowMem), Imm: imm}
+	case 6:
+		return UnOp{Op: g.unOp(), X: g.genExpr(depth-1, nlocals, allowMem)}
+	default:
+		return g.genLeafExpr(nlocals, allowMem)
+	}
+}
+
+func (g *gen) genLeafExpr(nlocals int, allowMem bool) Expr {
+	if allowMem {
+		switch g.rng.Intn(8) {
+		case 0:
+			if len(g.scalars) > 0 {
+				return GlobalRef{Name: g.scalars[g.rng.Intn(len(g.scalars))]}
+			}
+		case 1:
+			if len(g.arrays) > 0 {
+				name := g.arrays[g.rng.Intn(len(g.arrays))]
+				return ArrayRef{Name: name, Idx: Local{Idx: g.rng.Intn(nlocals)}}
+			}
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		return Const{Val: g.immVal()}
+	}
+	return Local{Idx: g.rng.Intn(nlocals)}
+}
+
+func (g *gen) binOp() string {
+	// Weighted toward add/sub, like real integer code.
+	ops := []string{"+", "+", "+", "-", "-", "*", "&", "|", "^", "/"}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *gen) immOp() string {
+	ops := []string{"+", "+", "+", "&", "|", "^", "<<", ">>", "mask"}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *gen) unOp() string {
+	if g.rng.Intn(2) == 0 {
+		return "neg"
+	}
+	return "not"
+}
+
+func (g *gen) immVal() int32 {
+	// Mostly tiny immediates with a tail of larger ones, mirroring
+	// compiler output.
+	switch g.rng.Intn(10) {
+	case 0, 1, 2, 3:
+		return int32(g.rng.Intn(8))
+	case 4, 5, 6:
+		return int32(g.rng.Intn(64))
+	case 7, 8:
+		return int32(g.rng.Intn(int(g.p.ImmRange)))
+	default:
+		return int32(g.rng.Intn(int(g.p.ImmRange))) - g.p.ImmRange/2
+	}
+}
+
+func (g *gen) genCond(nlocals int, allowMem bool) Cond {
+	rels := []string{"==", "!=", "<", "<=", ">", ">="}
+	crfs := []uint8{0, 0, 0, 1, 1, 7}
+	c := Cond{
+		Rel: rels[g.rng.Intn(len(rels))],
+		L:   g.genExpr(1, nlocals, allowMem),
+		CRF: crfs[g.rng.Intn(len(crfs))],
+	}
+	if g.rng.Intn(4) == 0 {
+		c.Unsigned = true
+	}
+	if g.rng.Intn(3) == 0 {
+		c.R = g.genExpr(1, nlocals, false)
+	} else {
+		c.Imm = int32(g.rng.Intn(16))
+		if c.Unsigned && c.Imm < 0 {
+			c.Imm = -c.Imm
+		}
+	}
+	return c
+}

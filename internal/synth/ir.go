@@ -1,0 +1,186 @@
+// Package synth generates the benchmark corpus: synthetic PowerPC programs
+// standing in for GCC-compiled SPEC CINT95 binaries. Programs are produced
+// the way the paper says real redundancy arises (§1.1) — by syntax-directed
+// translation: a miniature C-like IR is expanded through fixed instruction
+// templates with a small, deterministic register discipline, so identical
+// source shapes yield identical instruction encodings everywhere. Eight
+// per-benchmark profiles control size and statement mix; a synthetic libc
+// is statically linked into every program, matching the paper's
+// statically-linked measurement setup.
+//
+// Every generated program is executable and terminating: the call graph is
+// a DAG (functions only call higher-indexed functions or libc), every loop
+// is counted with a small constant bound, and every function begins with a
+// depth guard so a driver can bound total work.
+package synth
+
+// Expr is a side-effect-free integer expression. Calls are not expressions;
+// they appear only as the source of an AssignCall statement, which keeps
+// the SDTS register discipline spill-free.
+type Expr interface{ exprNode() }
+
+// Const is an integer literal.
+type Const struct{ Val int32 }
+
+// Local references a function local by index; the first NParams locals are
+// the parameters. Local 0 of every generated function is the depth guard.
+type Local struct{ Idx int }
+
+// GlobalRef reads a global word scalar.
+type GlobalRef struct{ Name string }
+
+// ArrayRef reads global[Idx & (Len-1)] — generation masks the index so any
+// runtime value is safe.
+type ArrayRef struct {
+	Name string
+	Idx  Expr
+}
+
+// UnOp is a unary operator.
+type UnOp struct {
+	Op string // "neg", "not"
+	X  Expr
+}
+
+// BinOp is a binary operator over two subexpressions.
+type BinOp struct {
+	Op   string // "+", "-", "*", "/", "&", "|", "^"
+	L, R Expr
+}
+
+// BinImm applies an operator with an immediate operand, mapping to the
+// D-form immediate instructions.
+type BinImm struct {
+	Op  string // "+", "&", "|", "^", "<<", ">>", "mask"
+	L   Expr
+	Imm int32
+}
+
+func (Const) exprNode()     {}
+func (Local) exprNode()     {}
+func (GlobalRef) exprNode() {}
+func (ArrayRef) exprNode()  {}
+func (UnOp) exprNode()      {}
+func (BinOp) exprNode()     {}
+func (BinImm) exprNode()    {}
+
+// Cond is a comparison controlling an If or Loop.
+type Cond struct {
+	Rel      string // "==", "!=", "<", "<=", ">", ">="
+	Unsigned bool
+	L        Expr
+	R        Expr  // nil when immediate form
+	Imm      int32 // used when R == nil
+	CRF      uint8 // condition-register field the compiler chose
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// Assign stores an expression to a local, global, or array element.
+type Assign struct {
+	Dst LValue
+	Src Expr
+}
+
+// AssignCall calls a function and stores its result. Args must be
+// call-free. For generated (non-libc) callees, the code generator
+// automatically prepends the decremented depth as the first argument.
+type AssignCall struct {
+	Dst    LValue
+	Callee string
+	Libc   bool // callee is a libc routine (no depth argument)
+	Args   []Expr
+}
+
+// If branches on a condition.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// Loop is a counted loop: for (v = From; v < To; v += Step) Body. Bounds
+// are constants so every program terminates.
+type Loop struct {
+	Var      int // local index
+	From, To int32
+	Step     int32
+	Body     []Stmt
+}
+
+// Switch dispatches on a local through a jump table (the GCC computed-goto
+// lowering) when it has enough cases.
+type Switch struct {
+	Var     int // local index, masked to range by the generator
+	Cases   [][]Stmt
+	Default []Stmt
+}
+
+// Return leaves the function with the value of an expression.
+type Return struct{ Val Expr }
+
+// PutInt prints an integer through the simulator syscall; drivers use it to
+// make execution observable.
+type PutInt struct{ Val Expr }
+
+func (Assign) stmtNode()     {}
+func (AssignCall) stmtNode() {}
+func (If) stmtNode()         {}
+func (Loop) stmtNode()       {}
+func (Switch) stmtNode()     {}
+func (Return) stmtNode()     {}
+func (PutInt) stmtNode()     {}
+
+// LValue is an assignment destination.
+type LValue interface{ lvalNode() }
+
+// LLocal writes a local.
+type LLocal struct{ Idx int }
+
+// LGlobal writes a global scalar.
+type LGlobal struct{ Name string }
+
+// LArray writes global[Idx & (Len-1)].
+type LArray struct {
+	Name string
+	Idx  Expr
+}
+
+func (LLocal) lvalNode()  {}
+func (LGlobal) lvalNode() {}
+func (LArray) lvalNode()  {}
+
+// FuncDecl is one function. Locals are word-sized; the first NParams are
+// parameters (local 0 is always the depth parameter for generated
+// functions).
+type FuncDecl struct {
+	Name    string
+	NParams int
+	NLocals int
+	Body    []Stmt
+	Leaf    bool // no calls; compiled without a stack frame
+}
+
+// Global is a scalar (Len == 1) or array in the data section. Len must be
+// a power of two so array indices can be masked safely. Elem is the
+// element size in bytes (1, 2 or 4); zero means 4. Narrow elements load
+// zero-extended through lbzx/lhzx, mirroring the byte-table code the
+// paper's Figure 2 example shows.
+type Global struct {
+	Name string
+	Len  int
+	Elem int
+
+	// Init optionally provides initial element values (constant lookup
+	// tables). Shorter than Len is allowed; the rest stays zero. Values
+	// are truncated to the element width.
+	Init []int32
+}
+
+// Module is a complete translation unit.
+type Module struct {
+	Name    string
+	Funcs   []*FuncDecl
+	Globals []*Global
+}

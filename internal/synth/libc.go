@@ -1,0 +1,366 @@
+package synth
+
+import (
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// The synthetic libc: small leaf routines emitted with the same fixed
+// templates as generated code, statically linked into every benchmark.
+// The paper's measurements statically link libraries ("Linking was done
+// statically so that the libraries are included in the results", §4), so
+// the corpus does too — including routines no benchmark happens to call,
+// exactly as a real static link pulls in unused library members.
+
+// libcFn describes a libc routine callable from generated code (scalar
+// arguments only, guaranteed terminating).
+type libcFn struct {
+	name  string
+	nargs int
+}
+
+func (l libcFn) pick() (string, int) { return l.name, l.nargs }
+
+// libcCallables lists the scalar routines the generator may call.
+var libcCallables = []libcFn{
+	{"lc_abs", 1},
+	{"lc_sign", 1},
+	{"lc_min", 2},
+	{"lc_max", 2},
+	{"lc_avg", 2},
+	{"lc_clamp8", 1},
+	{"lc_hash", 1},
+	{"lc_parity", 1},
+	{"lc_popcount8", 1},
+	{"lc_bitrev8", 1},
+	{"lc_tolower", 1},
+	{"lc_toupper", 1},
+	{"lc_isdigit", 1},
+	{"lc_isalpha", 1},
+	{"lc_mod", 2},
+	{"lc_gcd16", 2},
+	{"lc_sq", 1},
+	{"lc_dist", 2},
+	{"lc_sext8", 1},
+	{"lc_swaph", 1},
+}
+
+// LibcNames lists every libc function, callable or not, in emission order.
+func LibcNames() []string {
+	return []string{
+		"lc_abs", "lc_sign", "lc_min", "lc_max", "lc_avg", "lc_clamp8",
+		"lc_hash", "lc_parity", "lc_popcount8", "lc_bitrev8",
+		"lc_tolower", "lc_toupper", "lc_isdigit", "lc_isalpha",
+		"lc_mod", "lc_gcd16", "lc_sq", "lc_dist", "lc_sext8", "lc_swaph",
+		"lc_memcpy", "lc_memset", "lc_strlen", "lc_strcmp", "lc_sum", "lc_fill",
+	}
+}
+
+// EmitLibc appends the libc functions to the module.
+func EmitLibc(b *program.Builder) {
+	// lc_abs(x) -> |x|
+	f := b.Func("lc_abs")
+	f.Emit(ppc.Cmpwi(0, 3, 0))
+	f.Branch(ppc.Bge(0, 0), ".pos")
+	f.Emit(ppc.Neg(3, 3))
+	f.Label(".pos")
+	emitLeafRet(f)
+
+	// lc_sign(x) -> -1, 0, 1
+	f = b.Func("lc_sign")
+	f.Emit(ppc.Cmpwi(0, 3, 0))
+	f.Branch(ppc.Blt(0, 0), ".neg")
+	f.Branch(ppc.Beq(0, 0), ".zero")
+	f.Emit(ppc.Li(3, 1))
+	f.Branch(ppc.B(0), ".out")
+	f.Label(".neg")
+	f.Emit(ppc.Li(3, -1))
+	f.Branch(ppc.B(0), ".out")
+	f.Label(".zero")
+	f.Emit(ppc.Li(3, 0))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_min(a,b)
+	f = b.Func("lc_min")
+	f.Emit(ppc.Cmpw(0, 3, 4))
+	f.Branch(ppc.Ble(0, 0), ".out")
+	f.Emit(ppc.Mr(3, 4))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_max(a,b)
+	f = b.Func("lc_max")
+	f.Emit(ppc.Cmpw(0, 3, 4))
+	f.Branch(ppc.Bge(0, 0), ".out")
+	f.Emit(ppc.Mr(3, 4))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_avg(a,b) -> (a+b)>>1
+	f = b.Func("lc_avg")
+	f.Emit(ppc.Add(3, 3, 4))
+	f.Emit(ppc.Srawi(3, 3, 1))
+	emitLeafRet(f)
+
+	// lc_clamp8(x) -> clamp to [0,255]
+	f = b.Func("lc_clamp8")
+	f.Emit(ppc.Cmpwi(0, 3, 0))
+	f.Branch(ppc.Bge(0, 0), ".hi")
+	f.Emit(ppc.Li(3, 0))
+	f.Label(".hi")
+	f.Emit(ppc.Cmpwi(0, 3, 255))
+	f.Branch(ppc.Ble(0, 0), ".out")
+	f.Emit(ppc.Li(3, 255))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_hash(x): xorshift-style mix
+	f = b.Func("lc_hash")
+	f.Emit(ppc.Srwi(9, 3, 16))
+	f.Emit(ppc.Xor(3, 3, 9))
+	f.Emit(ppc.Lis(9, 0x45d9))
+	f.Emit(ppc.Ori(9, 9, 0xf3b))
+	f.Emit(ppc.Mullw(3, 3, 9))
+	f.Emit(ppc.Srwi(9, 3, 16))
+	f.Emit(ppc.Xor(3, 3, 9))
+	emitLeafRet(f)
+
+	// lc_parity(x): parity of low 8 bits
+	f = b.Func("lc_parity")
+	f.Emit(ppc.Li(9, 0))
+	f.Emit(ppc.Li(10, 8))
+	f.Emit(ppc.Mtctr(10))
+	f.Label(".loop")
+	f.Emit(ppc.AndiRc(10, 3, 1))
+	f.Emit(ppc.Xor(9, 9, 10))
+	f.Emit(ppc.Srwi(3, 3, 1))
+	f.Branch(ppc.Bdnz(0), ".loop")
+	f.Emit(ppc.Mr(3, 9))
+	emitLeafRet(f)
+
+	// lc_popcount8(x)
+	f = b.Func("lc_popcount8")
+	f.Emit(ppc.Li(9, 0))
+	f.Emit(ppc.Li(10, 8))
+	f.Emit(ppc.Mtctr(10))
+	f.Label(".loop")
+	f.Emit(ppc.AndiRc(10, 3, 1))
+	f.Emit(ppc.Add(9, 9, 10))
+	f.Emit(ppc.Srwi(3, 3, 1))
+	f.Branch(ppc.Bdnz(0), ".loop")
+	f.Emit(ppc.Mr(3, 9))
+	emitLeafRet(f)
+
+	// lc_bitrev8(x): reverse low 8 bits
+	f = b.Func("lc_bitrev8")
+	f.Emit(ppc.Li(9, 0))
+	f.Emit(ppc.Li(10, 8))
+	f.Emit(ppc.Mtctr(10))
+	f.Label(".loop")
+	f.Emit(ppc.Slwi(9, 9, 1))
+	f.Emit(ppc.AndiRc(10, 3, 1))
+	f.Emit(ppc.Or(9, 9, 10))
+	f.Emit(ppc.Srwi(3, 3, 1))
+	f.Branch(ppc.Bdnz(0), ".loop")
+	f.Emit(ppc.Mr(3, 9))
+	emitLeafRet(f)
+
+	// lc_tolower(c)
+	f = b.Func("lc_tolower")
+	f.Emit(ppc.Cmpwi(0, 3, 'A'))
+	f.Branch(ppc.Blt(0, 0), ".out")
+	f.Emit(ppc.Cmpwi(0, 3, 'Z'))
+	f.Branch(ppc.Bgt(0, 0), ".out")
+	f.Emit(ppc.Addi(3, 3, 32))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_toupper(c)
+	f = b.Func("lc_toupper")
+	f.Emit(ppc.Cmpwi(0, 3, 'a'))
+	f.Branch(ppc.Blt(0, 0), ".out")
+	f.Emit(ppc.Cmpwi(0, 3, 'z'))
+	f.Branch(ppc.Bgt(0, 0), ".out")
+	f.Emit(ppc.Addi(3, 3, -32))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_isdigit(c)
+	f = b.Func("lc_isdigit")
+	f.Emit(ppc.Addi(3, 3, -'0'))
+	f.Emit(ppc.Cmplwi(0, 3, 9))
+	f.Emit(ppc.Li(3, 0))
+	f.Branch(ppc.Bgt(0, 0), ".out")
+	f.Emit(ppc.Li(3, 1))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_isalpha(c)
+	f = b.Func("lc_isalpha")
+	f.Emit(ppc.Ori(9, 3, 0x20))
+	f.Emit(ppc.Addi(9, 9, -'a'))
+	f.Emit(ppc.Cmplwi(0, 9, 25))
+	f.Emit(ppc.Li(3, 0))
+	f.Branch(ppc.Bgt(0, 0), ".out")
+	f.Emit(ppc.Li(3, 1))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_mod(a,b) -> a - (a/b)*b  (0 when b == 0, via divw semantics)
+	f = b.Func("lc_mod")
+	f.Emit(ppc.Divw(9, 3, 4))
+	f.Emit(ppc.Mullw(9, 9, 4))
+	f.Emit(ppc.Subf(3, 9, 3))
+	emitLeafRet(f)
+
+	// lc_gcd16(a,b): 16 bounded Euclid steps on |a|,|b|
+	f = b.Func("lc_gcd16")
+	f.Emit(ppc.Cmpwi(0, 3, 0))
+	f.Branch(ppc.Bge(0, 0), ".p1")
+	f.Emit(ppc.Neg(3, 3))
+	f.Label(".p1")
+	f.Emit(ppc.Cmpwi(0, 4, 0))
+	f.Branch(ppc.Bge(0, 0), ".p2")
+	f.Emit(ppc.Neg(4, 4))
+	f.Label(".p2")
+	f.Emit(ppc.Li(10, 16))
+	f.Emit(ppc.Mtctr(10))
+	f.Label(".loop")
+	f.Emit(ppc.Cmpwi(0, 4, 0))
+	f.Branch(ppc.Beq(0, 0), ".done")
+	f.Emit(ppc.Divw(9, 3, 4))
+	f.Emit(ppc.Mullw(9, 9, 4))
+	f.Emit(ppc.Subf(9, 9, 3)) // r9 = a mod b
+	f.Emit(ppc.Mr(3, 4))
+	f.Emit(ppc.Mr(4, 9))
+	f.Branch(ppc.Bdnz(0), ".loop")
+	f.Label(".done")
+	emitLeafRet(f)
+
+	// lc_sq(x)
+	f = b.Func("lc_sq")
+	f.Emit(ppc.Mullw(3, 3, 3))
+	emitLeafRet(f)
+
+	// lc_dist(a,b) -> |a-b|
+	f = b.Func("lc_dist")
+	f.Emit(ppc.Subf(3, 4, 3))
+	f.Emit(ppc.Cmpwi(0, 3, 0))
+	f.Branch(ppc.Bge(0, 0), ".out")
+	f.Emit(ppc.Neg(3, 3))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_sext8(x)
+	f = b.Func("lc_sext8")
+	f.Emit(ppc.Extsb(3, 3))
+	emitLeafRet(f)
+
+	// lc_swaph(x): swap halfwords
+	f = b.Func("lc_swaph")
+	f.Emit(ppc.Rlwinm(9, 3, 16, 0, 31))
+	f.Emit(ppc.Mr(3, 9))
+	emitLeafRet(f)
+
+	// Pointer routines below are linked but not called by generated code —
+	// dead static-library weight, as in a real static link.
+
+	// lc_memcpy(dst, src, n) byte copy
+	f = b.Func("lc_memcpy")
+	f.Emit(ppc.Mr(9, 3))
+	f.Branch(ppc.B(0), ".check")
+	f.Label(".loop")
+	f.Emit(ppc.Lbz(10, 0, 4))
+	f.Emit(ppc.Stb(10, 0, 9))
+	f.Emit(ppc.Addi(4, 4, 1))
+	f.Emit(ppc.Addi(9, 9, 1))
+	f.Emit(ppc.Addi(5, 5, -1))
+	f.Label(".check")
+	f.Emit(ppc.Cmpwi(0, 5, 0))
+	f.Branch(ppc.Bgt(0, 0), ".loop")
+	emitLeafRet(f)
+
+	// lc_memset(dst, c, n)
+	f = b.Func("lc_memset")
+	f.Emit(ppc.Mr(9, 3))
+	f.Branch(ppc.B(0), ".check")
+	f.Label(".loop")
+	f.Emit(ppc.Stb(4, 0, 9))
+	f.Emit(ppc.Addi(9, 9, 1))
+	f.Emit(ppc.Addi(5, 5, -1))
+	f.Label(".check")
+	f.Emit(ppc.Cmpwi(0, 5, 0))
+	f.Branch(ppc.Bgt(0, 0), ".loop")
+	emitLeafRet(f)
+
+	// lc_strlen(s)
+	f = b.Func("lc_strlen")
+	f.Emit(ppc.Mr(9, 3))
+	f.Emit(ppc.Li(3, 0))
+	f.Label(".loop")
+	f.Emit(ppc.Lbz(10, 0, 9))
+	f.Emit(ppc.Cmpwi(0, 10, 0))
+	f.Branch(ppc.Beq(0, 0), ".out")
+	f.Emit(ppc.Addi(3, 3, 1))
+	f.Emit(ppc.Addi(9, 9, 1))
+	f.Branch(ppc.B(0), ".loop")
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_strcmp(a,b)
+	f = b.Func("lc_strcmp")
+	f.Label(".loop")
+	f.Emit(ppc.Lbz(9, 0, 3))
+	f.Emit(ppc.Lbz(10, 0, 4))
+	f.Emit(ppc.Cmpw(0, 9, 10))
+	f.Branch(ppc.Bne(0, 0), ".diff")
+	f.Emit(ppc.Cmpwi(0, 9, 0))
+	f.Branch(ppc.Beq(0, 0), ".eq")
+	f.Emit(ppc.Addi(3, 3, 1))
+	f.Emit(ppc.Addi(4, 4, 1))
+	f.Branch(ppc.B(0), ".loop")
+	f.Label(".diff")
+	f.Emit(ppc.Subf(3, 10, 9))
+	f.Branch(ppc.B(0), ".out")
+	f.Label(".eq")
+	f.Emit(ppc.Li(3, 0))
+	f.Label(".out")
+	emitLeafRet(f)
+
+	// lc_sum(ptr, n) word sum
+	f = b.Func("lc_sum")
+	f.Emit(ppc.Mr(9, 3))
+	f.Emit(ppc.Li(3, 0))
+	f.Branch(ppc.B(0), ".check")
+	f.Label(".loop")
+	f.Emit(ppc.Lwz(10, 0, 9))
+	f.Emit(ppc.Add(3, 3, 10))
+	f.Emit(ppc.Addi(9, 9, 4))
+	f.Emit(ppc.Addi(4, 4, -1))
+	f.Label(".check")
+	f.Emit(ppc.Cmpwi(0, 4, 0))
+	f.Branch(ppc.Bgt(0, 0), ".loop")
+	emitLeafRet(f)
+
+	// lc_fill(ptr, n, v) word fill
+	f = b.Func("lc_fill")
+	f.Emit(ppc.Mr(9, 3))
+	f.Branch(ppc.B(0), ".check")
+	f.Label(".loop")
+	f.Emit(ppc.Stw(5, 0, 9))
+	f.Emit(ppc.Addi(9, 9, 4))
+	f.Emit(ppc.Addi(4, 4, -1))
+	f.Label(".check")
+	f.Emit(ppc.Cmpwi(0, 4, 0))
+	f.Branch(ppc.Bgt(0, 0), ".loop")
+	emitLeafRet(f)
+}
+
+// emitLeafRet emits the standard leaf-function return, marked as the
+// epilogue for Table 3 accounting.
+func emitLeafRet(f *program.FuncBuilder) {
+	f.BeginEpilogue()
+	f.Emit(ppc.Blr())
+	f.EndEpilogue()
+}

@@ -1,0 +1,161 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module as pseudo-C source — the human-readable view of
+// what the generator produced, used by debugging tools and error reports.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// module %s\n", m.Name)
+	for _, g := range m.Globals {
+		elem := g.Elem
+		if elem == 0 {
+			elem = 4
+		}
+		ty := map[int]string{1: "u8", 2: "u16", 4: "u32"}[elem]
+		if g.Len == 1 {
+			fmt.Fprintf(&sb, "%s %s;\n", ty, g.Name)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s %s[%d]", ty, g.Name, g.Len)
+		if len(g.Init) > 0 {
+			sb.WriteString(" = {")
+			for i, v := range g.Init {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", v)
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString(";\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteByte('\n')
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *FuncDecl) {
+	kind := ""
+	if f.Leaf {
+		kind = " // leaf"
+	}
+	params := make([]string, f.NParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("l%d", i)
+	}
+	fmt.Fprintf(sb, "func %s(%s) {%s\n", f.Name, strings.Join(params, ", "), kind)
+	if f.NLocals > f.NParams {
+		locals := make([]string, 0, f.NLocals-f.NParams)
+		for i := f.NParams; i < f.NLocals; i++ {
+			locals = append(locals, fmt.Sprintf("l%d", i))
+		}
+		fmt.Fprintf(sb, "    var %s\n", strings.Join(locals, ", "))
+	}
+	printStmts(sb, f.Body, 1)
+	sb.WriteString("}\n")
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", ind, lvalStr(st.Dst), exprStr(st.Src))
+		case AssignCall:
+			args := make([]string, len(st.Args))
+			for i, a := range st.Args {
+				args[i] = exprStr(a)
+			}
+			callee := st.Callee
+			if !st.Libc {
+				args = append([]string{"depth-1"}, args...)
+			}
+			fmt.Fprintf(sb, "%s%s = %s(%s)\n", ind, lvalStr(st.Dst), callee, strings.Join(args, ", "))
+		case If:
+			fmt.Fprintf(sb, "%sif %s {\n", ind, condStr(st.Cond))
+			printStmts(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				printStmts(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Loop:
+			fmt.Fprintf(sb, "%sfor l%d = %d; l%d < %d; l%d += %d {\n",
+				ind, st.Var, st.From, st.Var, st.To, st.Var, st.Step)
+			printStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Switch:
+			fmt.Fprintf(sb, "%sswitch l%d {\n", ind, st.Var)
+			for i, c := range st.Cases {
+				fmt.Fprintf(sb, "%scase %d:\n", ind, i)
+				printStmts(sb, c, depth+1)
+			}
+			fmt.Fprintf(sb, "%sdefault:\n", ind)
+			printStmts(sb, st.Default, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Return:
+			fmt.Fprintf(sb, "%sreturn %s\n", ind, exprStr(st.Val))
+		case PutInt:
+			fmt.Fprintf(sb, "%sputint(%s)\n", ind, exprStr(st.Val))
+		default:
+			fmt.Fprintf(sb, "%s/* unknown stmt %T */\n", ind, s)
+		}
+	}
+}
+
+func lvalStr(l LValue) string {
+	switch d := l.(type) {
+	case LLocal:
+		return fmt.Sprintf("l%d", d.Idx)
+	case LGlobal:
+		return d.Name
+	case LArray:
+		return fmt.Sprintf("%s[%s]", d.Name, exprStr(d.Idx))
+	}
+	return fmt.Sprintf("/*%T*/", l)
+}
+
+func exprStr(e Expr) string {
+	switch x := e.(type) {
+	case Const:
+		return fmt.Sprintf("%d", x.Val)
+	case Local:
+		return fmt.Sprintf("l%d", x.Idx)
+	case GlobalRef:
+		return x.Name
+	case ArrayRef:
+		return fmt.Sprintf("%s[%s]", x.Name, exprStr(x.Idx))
+	case UnOp:
+		op := map[string]string{"neg": "-", "not": "~"}[x.Op]
+		return fmt.Sprintf("%s(%s)", op, exprStr(x.X))
+	case BinOp:
+		return fmt.Sprintf("(%s %s %s)", exprStr(x.L), x.Op, exprStr(x.R))
+	case BinImm:
+		op := x.Op
+		if op == "mask" {
+			return fmt.Sprintf("(%s & lowbits(%d))", exprStr(x.L), 32-x.Imm)
+		}
+		return fmt.Sprintf("(%s %s %d)", exprStr(x.L), op, x.Imm)
+	}
+	return fmt.Sprintf("/*%T*/", e)
+}
+
+func condStr(c Cond) string {
+	rhs := ""
+	if c.R != nil {
+		rhs = exprStr(c.R)
+	} else {
+		rhs = fmt.Sprintf("%d", c.Imm)
+	}
+	u := ""
+	if c.Unsigned {
+		u = "u"
+	}
+	return fmt.Sprintf("%s %s%s %s /*cr%d*/", exprStr(c.L), c.Rel, u, rhs, c.CRF)
+}

@@ -1,0 +1,79 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintCoversAllConstructs(t *testing.T) {
+	m := &Module{
+		Name: "printed",
+		Globals: []*Global{
+			{Name: "g00", Len: 1},
+			{Name: "tab", Len: 4, Elem: 1, Init: []int32{1, 2, 3, 4}},
+		},
+		Funcs: []*FuncDecl{
+			{
+				Name: "result", NParams: 1, NLocals: 3,
+				Body: []Stmt{
+					Assign{Dst: LGlobal{"g00"}, Src: BinOp{Op: "+", L: Local{0}, R: Const{2}}},
+					Assign{Dst: LArray{Name: "tab", Idx: Local{1}}, Src: BinImm{Op: "<<", L: Local{1}, Imm: 1}},
+					AssignCall{Dst: LLocal{2}, Callee: "lc_abs", Libc: true, Args: []Expr{UnOp{Op: "neg", X: Local{1}}}},
+					If{
+						Cond: Cond{Rel: "<", L: Local{1}, Imm: 5, CRF: 1},
+						Then: []Stmt{PutInt{Val: GlobalRef{"g00"}}},
+						Else: []Stmt{Assign{Dst: LLocal{1}, Src: Const{0}}},
+					},
+					Loop{Var: 1, From: 0, To: 4, Step: 1, Body: []Stmt{
+						Switch{Var: 1,
+							Cases:   [][]Stmt{{Return{Val: Const{1}}}, {Return{Val: Const{2}}}},
+							Default: []Stmt{Assign{Dst: LLocal{2}, Src: BinImm{Op: "mask", L: Local{2}, Imm: 24}}},
+						},
+					}},
+					Return{Val: ArrayRef{Name: "tab", Idx: Local{1}}},
+				},
+			},
+			{Name: "leafy", NParams: 1, NLocals: 1, Leaf: true,
+				Body: []Stmt{Return{Val: UnOp{Op: "not", X: Local{0}}}}},
+		},
+	}
+	out := Print(m)
+	for _, want := range []string{
+		"module printed",
+		"u32 g00;",
+		"u8 tab[4] = {1, 2, 3, 4};",
+		"func result(l0) {",
+		"var l1, l2",
+		"g00 = (l0 + 2)",
+		"tab[l1] = (l1 << 1)",
+		"l2 = lc_abs(-(l1))",
+		"if l1 < 5 /*cr1*/ {",
+		"} else {",
+		"putint(g00)",
+		"for l1 = 0; l1 < 4; l1 += 1 {",
+		"switch l1 {",
+		"case 0:",
+		"default:",
+		"& lowbits(8)",
+		"return tab[l1]",
+		"// leaf",
+		"return ~(l0)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed module missing %q\n%s", want, out)
+		}
+	}
+	// The generated corpus must print without unknown-node placeholders.
+	p, _ := ProfileFor("li")
+	mod, err := GenerateModule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := Print(mod)
+	if strings.Contains(gen, "/*unknown") || strings.Contains(gen, "/*synth.") {
+		t.Error("generated module printed with unknown nodes")
+	}
+	if len(gen) < 1000 {
+		t.Errorf("generated module print suspiciously short: %d bytes", len(gen))
+	}
+}

@@ -1,0 +1,193 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+)
+
+// BenchmarkNames lists the SPEC CINT95 stand-ins in the paper's order.
+func BenchmarkNames() []string {
+	return []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+}
+
+// profiles defines the eight benchmark stand-ins. Sizes are scaled down
+// from SPEC CINT95 static binaries (statically linked, GCC -O2) but keep
+// the paper's relative ordering: gcc ≫ vortex > go ≈ perl > ijpeg >
+// m88ksim > li > compress. Statement mixes caricature each program's
+// character (compress: loops over buffers; gcc/perl: big switch-heavy
+// functions; li/vortex: call-heavy; ijpeg: array arithmetic; go: branchy
+// evaluation; m88ksim: decode switches).
+var profiles = map[string]Profile{
+	"compress": {
+		Name: "compress", Seed: 101, TargetWords: 3600,
+		StmtsMin: 3, StmtsMax: 7, ExprDepth: 3, LeafFrac: 0.30,
+		WAssign: 30, WIf: 18, WLoop: 22, WSwitch: 3, WCall: 12, WArray: 15,
+		MaxLocals: 6, NScalars: 10, NArrays: 6, ArrayLenPow: 8,
+		ImmRange: 256, CallWindow: 10, LibcFrac: 0.35,
+		SwitchMin: 3, SwitchMax: 5, MainRoots: 4, MainDepth: 3,
+		MegaFuncs: 1, MegaSpan: [2]int{50, 130},
+	},
+	"gcc": {
+		Name: "gcc", Seed: 102, TargetWords: 42000,
+		StmtsMin: 4, StmtsMax: 10, ExprDepth: 3, LeafFrac: 0.18,
+		WAssign: 26, WIf: 22, WLoop: 8, WSwitch: 10, WCall: 24, WArray: 10,
+		MaxLocals: 8, NScalars: 24, NArrays: 10, ArrayLenPow: 7,
+		ImmRange: 512, CallWindow: 40, LibcFrac: 0.20,
+		SwitchMin: 4, SwitchMax: 9, MainRoots: 6, MainDepth: 3,
+		MegaFuncs: 2, MegaSpan: [2]int{150, 560},
+	},
+	"go": {
+		Name: "go", Seed: 103, TargetWords: 16000,
+		StmtsMin: 2, StmtsMax: 6, ExprDepth: 3, LeafFrac: 0.22,
+		WAssign: 28, WIf: 30, WLoop: 12, WSwitch: 4, WCall: 14, WArray: 12,
+		MaxLocals: 7, NScalars: 16, NArrays: 8, ArrayLenPow: 9,
+		ImmRange: 384, CallWindow: 24, LibcFrac: 0.25,
+		SwitchMin: 3, SwitchMax: 6, MainRoots: 5, MainDepth: 3,
+		MegaFuncs: 2, MegaSpan: [2]int{120, 420},
+	},
+	"ijpeg": {
+		Name: "ijpeg", Seed: 104, TargetWords: 11000,
+		StmtsMin: 3, StmtsMax: 8, ExprDepth: 4, LeafFrac: 0.25,
+		WAssign: 30, WIf: 12, WLoop: 22, WSwitch: 2, WCall: 12, WArray: 22,
+		MaxLocals: 7, NScalars: 12, NArrays: 12, ArrayLenPow: 8,
+		ImmRange: 256, CallWindow: 16, LibcFrac: 0.25,
+		SwitchMin: 3, SwitchMax: 5, MainRoots: 5, MainDepth: 3,
+		MegaFuncs: 1, MegaSpan: [2]int{120, 300},
+	},
+	"li": {
+		Name: "li", Seed: 105, TargetWords: 6000,
+		StmtsMin: 2, StmtsMax: 6, ExprDepth: 2, LeafFrac: 0.26,
+		WAssign: 26, WIf: 20, WLoop: 8, WSwitch: 7, WCall: 28, WArray: 11,
+		MaxLocals: 6, NScalars: 12, NArrays: 5, ArrayLenPow: 7,
+		ImmRange: 128, CallWindow: 14, LibcFrac: 0.30,
+		SwitchMin: 3, SwitchMax: 6, MainRoots: 5, MainDepth: 3,
+		MegaFuncs: 1, MegaSpan: [2]int{100, 260},
+	},
+	"m88ksim": {
+		Name: "m88ksim", Seed: 106, TargetWords: 9000,
+		StmtsMin: 3, StmtsMax: 8, ExprDepth: 3, LeafFrac: 0.22,
+		WAssign: 28, WIf: 18, WLoop: 10, WSwitch: 12, WCall: 16, WArray: 16,
+		MaxLocals: 7, NScalars: 16, NArrays: 8, ArrayLenPow: 8,
+		ImmRange: 256, CallWindow: 16, LibcFrac: 0.25,
+		SwitchMin: 4, SwitchMax: 8, MainRoots: 5, MainDepth: 3,
+		MegaFuncs: 1, MegaSpan: [2]int{150, 400},
+	},
+	"perl": {
+		Name: "perl", Seed: 107, TargetWords: 15000,
+		StmtsMin: 4, StmtsMax: 10, ExprDepth: 3, LeafFrac: 0.18,
+		WAssign: 26, WIf: 20, WLoop: 8, WSwitch: 11, WCall: 22, WArray: 13,
+		MaxLocals: 8, NScalars: 18, NArrays: 8, ArrayLenPow: 8,
+		ImmRange: 384, CallWindow: 24, LibcFrac: 0.22,
+		SwitchMin: 4, SwitchMax: 8, MainRoots: 5, MainDepth: 3,
+		MegaFuncs: 2, MegaSpan: [2]int{150, 480},
+	},
+	"vortex": {
+		Name: "vortex", Seed: 108, TargetWords: 19000,
+		StmtsMin: 3, StmtsMax: 8, ExprDepth: 2, LeafFrac: 0.20,
+		WAssign: 32, WIf: 18, WLoop: 8, WSwitch: 4, WCall: 26, WArray: 12,
+		MaxLocals: 8, NScalars: 20, NArrays: 10, ArrayLenPow: 8,
+		ImmRange: 512, CallWindow: 28, LibcFrac: 0.22,
+		SwitchMin: 3, SwitchMax: 6, MainRoots: 6, MainDepth: 3,
+		MegaFuncs: 2, MegaSpan: [2]int{120, 400},
+	},
+}
+
+// ProfileFor returns the named benchmark profile.
+func ProfileFor(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("synth: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return p, nil
+}
+
+// Generate builds the named benchmark: generated functions, then libc,
+// then the driver, linked into an executable program. Generation is
+// deterministic — the same name always yields the identical binary.
+func Generate(name string) (*program.Program, error) {
+	return GenerateScaled(name, 1)
+}
+
+// GenerateScaled builds the named benchmark with its size target
+// multiplied by scale (e.g. 8 brings gcc near the real statically-linked
+// SPEC binary). Mega-function counts scale too, coarsely.
+func GenerateScaled(name string, scale float64) (*program.Program, error) {
+	p, err := ProfileFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("synth: scale %v must be positive", scale)
+	}
+	if scale != 1 {
+		p.TargetWords = int(float64(p.TargetWords) * scale)
+		if p.TargetWords < 500 {
+			p.TargetWords = 500
+		}
+		if scale >= 2 {
+			p.MegaFuncs *= int(scale)
+		} else if scale < 1 && p.MegaFuncs > 1 {
+			p.MegaFuncs = 1
+		}
+	}
+	return GenerateProfile(p)
+}
+
+// GenerateProfile builds a program from an arbitrary profile (used by
+// tests and examples that need scaled-down workloads).
+//
+// Because words-per-function varies strongly with the statement mix, the
+// generator calibrates in two passes: a pilot module measures the actual
+// expansion rate, then the module is regenerated (same seed, rescaled
+// function count) so the final text size lands near the profile target.
+func GenerateProfile(p Profile) (*program.Program, error) {
+	pilot, err := GenerateModule(p)
+	if err != nil {
+		return nil, err
+	}
+	pilotCG := NewCodegen(p.Name + ".pilot")
+	pilotCG.StandardizeSaves = p.StandardizeSaves
+	pilotCG.ScrambleAlloc = p.ScrambleAlloc
+	if err := pilotCG.CompileModule(pilot); err != nil {
+		return nil, err
+	}
+	actual := pilotCG.Builder().Words()
+	nfuncs := len(pilot.Funcs)
+	if actual > 0 {
+		nfuncs = int(float64(len(pilot.Funcs)) * float64(p.TargetWords) / float64(actual))
+	}
+	mod, err := GenerateModuleN(p, nfuncs)
+	if err != nil {
+		return nil, err
+	}
+	cg := NewCodegen(p.Name)
+	cg.StandardizeSaves = p.StandardizeSaves
+	cg.ScrambleAlloc = p.ScrambleAlloc
+	if err := cg.CompileModule(mod); err != nil {
+		return nil, err
+	}
+	EmitLibc(cg.Builder())
+	roots := make([]string, 0, p.MainRoots)
+	for i := 0; i < p.MainRoots && i < len(mod.Funcs); i++ {
+		roots = append(roots, mod.Funcs[i].Name)
+	}
+	cg.EmitMain(roots, p.MainDepth)
+	return cg.Link()
+}
+
+// GenerateAll builds the whole corpus, sorted by name.
+func GenerateAll() (map[string]*program.Program, error) {
+	out := make(map[string]*program.Program, len(profiles))
+	names := BenchmarkNames()
+	sort.Strings(names)
+	for _, n := range names {
+		p, err := Generate(n)
+		if err != nil {
+			return nil, fmt.Errorf("synth: generating %s: %w", n, err)
+		}
+		out[n] = p
+	}
+	return out, nil
+}

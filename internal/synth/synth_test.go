@@ -1,0 +1,301 @@
+package synth
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+func TestGenerateAll(t *testing.T) {
+	all, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(BenchmarkNames()) {
+		t.Fatalf("%d programs", len(all))
+	}
+	for _, name := range BenchmarkNames() {
+		if all[name] == nil {
+			t.Errorf("%s missing", name)
+		}
+	}
+}
+
+func TestGenerateScaledBounds(t *testing.T) {
+	if _, err := GenerateScaled("li", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := GenerateScaled("li", -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	small, err := GenerateScaled("li", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GenerateScaled("li", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Text) >= len(big.Text) {
+		t.Fatalf("scaling inverted: %d vs %d", len(small.Text), len(big.Text))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Text) != len(b.Text) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Text), len(b.Text))
+	}
+	for i := range a.Text {
+		if a.Text[i] != b.Text[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestGeneratedSizes(t *testing.T) {
+	// Relative ordering must match the paper: gcc is by far the largest,
+	// compress the smallest. Absolute sizes must be within a factor of two
+	// of the profile target (the calibration constant drifts as templates
+	// evolve; this is the tripwire).
+	sizes := map[string]int{}
+	for _, name := range BenchmarkNames() {
+		p, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sizes[name] = len(p.Text)
+		prof, _ := ProfileFor(name)
+		if len(p.Text) < prof.TargetWords/2 || len(p.Text) > prof.TargetWords*2 {
+			t.Errorf("%s: %d words, target %d — recalibrate estWordsPerFunc",
+				name, len(p.Text), prof.TargetWords)
+		}
+	}
+	if !(sizes["gcc"] > sizes["vortex"] && sizes["vortex"] > sizes["ijpeg"] &&
+		sizes["ijpeg"] > sizes["m88ksim"] && sizes["m88ksim"] > sizes["li"] &&
+		sizes["li"] > sizes["compress"]) {
+		t.Errorf("size ordering broken: %v", sizes)
+	}
+}
+
+func TestGeneratedProgramsExecute(t *testing.T) {
+	// Every benchmark must run to completion deterministically. Bigger
+	// benchmarks get a generous budget; the depth guard bounds the work.
+	for _, name := range BenchmarkNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Generate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := machine.NewForProgram(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, err := cpu.Run(200_000_000)
+			if err != nil {
+				t.Fatalf("execution: %v", err)
+			}
+			if status != 0 {
+				t.Fatalf("exit status %d", status)
+			}
+			out := string(cpu.Output())
+			if len(out) == 0 || out[len(out)-1] != '\n' {
+				t.Fatalf("malformed output %q", out)
+			}
+			t.Logf("%s: %d words, %d steps, checksum %s",
+				name, len(p.Text), cpu.Stats.Steps, out[:len(out)-1])
+		})
+	}
+}
+
+func TestLibcFunctionsBehave(t *testing.T) {
+	// Call selected libc functions directly with a tiny driver and check
+	// results against Go reference implementations.
+	cases := []struct {
+		fn   string
+		args []int32
+		want int32
+	}{
+		{"lc_abs", []int32{-7}, 7},
+		{"lc_abs", []int32{7}, 7},
+		{"lc_sign", []int32{-3}, -1},
+		{"lc_sign", []int32{0}, 0},
+		{"lc_sign", []int32{9}, 1},
+		{"lc_min", []int32{4, 9}, 4},
+		{"lc_max", []int32{4, 9}, 9},
+		{"lc_avg", []int32{4, 10}, 7},
+		{"lc_clamp8", []int32{300}, 255},
+		{"lc_clamp8", []int32{-4}, 0},
+		{"lc_clamp8", []int32{77}, 77},
+		{"lc_parity", []int32{0b1011}, 1},
+		{"lc_popcount8", []int32{0xFF}, 8},
+		{"lc_popcount8", []int32{0xA5}, 4},
+		{"lc_bitrev8", []int32{0x01}, 0x80},
+		{"lc_bitrev8", []int32{0xA5}, 0xA5},
+		{"lc_tolower", []int32{'A'}, 'a'},
+		{"lc_tolower", []int32{'z'}, 'z'},
+		{"lc_toupper", []int32{'b'}, 'B'},
+		{"lc_isdigit", []int32{'5'}, 1},
+		{"lc_isdigit", []int32{'x'}, 0},
+		{"lc_isalpha", []int32{'Q'}, 1},
+		{"lc_isalpha", []int32{'9'}, 0},
+		{"lc_mod", []int32{17, 5}, 2},
+		{"lc_mod", []int32{17, 0}, 17},
+		{"lc_gcd16", []int32{12, 18}, 6},
+		{"lc_gcd16", []int32{-12, 18}, 6},
+		{"lc_sq", []int32{9}, 81},
+		{"lc_dist", []int32{3, 11}, 8},
+		{"lc_sext8", []int32{0x80}, -128},
+		{"lc_swaph", []int32{0x12345678}, 0x56781234},
+	}
+	for _, tc := range cases {
+		b := program.NewBuilder("t")
+		main := b.Func("main")
+		for i, a := range tc.args {
+			if a >= -0x8000 && a < 0x8000 {
+				main.Emit(ppc.Li(uint8(3+i), a))
+			} else {
+				main.Emit(ppc.Lis(uint8(3+i), int32(int16(uint16(uint32(a)>>16)))))
+				main.Emit(ppc.Ori(uint8(3+i), uint8(3+i), int32(uint32(a)&0xFFFF)))
+			}
+		}
+		main.Call(tc.fn)
+		main.Emit(ppc.Li(0, machine.SysExit))
+		main.Emit(ppc.Sc())
+		EmitLibc(b)
+		b.SetEntry("main")
+		p, err := b.Link()
+		if err != nil {
+			t.Fatalf("%s: link: %v", tc.fn, err)
+		}
+		cpu, err := machine.NewForProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, err := cpu.Run(100000)
+		if err != nil {
+			t.Fatalf("%s%v: %v", tc.fn, tc.args, err)
+		}
+		if status != tc.want {
+			t.Errorf("%s%v = %d, want %d", tc.fn, tc.args, status, tc.want)
+		}
+	}
+}
+
+func TestModuleStructure(t *testing.T) {
+	p, err := ProfileFor("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := GenerateModule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) < 3 {
+		t.Fatalf("only %d functions", len(m.Funcs))
+	}
+	for i, f := range m.Funcs {
+		if f.NParams > f.NLocals {
+			t.Errorf("%s: params %d > locals %d", f.Name, f.NParams, f.NLocals)
+		}
+		if f.Leaf {
+			if f.NLocals > 2 {
+				t.Errorf("leaf %s has %d locals", f.Name, f.NLocals)
+			}
+			assertNoCalls(t, f.Name, f.Body)
+		}
+		if f.Name != funcName(i) {
+			t.Errorf("function %d named %s", i, f.Name)
+		}
+	}
+	for _, g := range m.Globals {
+		if g.Len&(g.Len-1) != 0 {
+			t.Errorf("global %s length %d not a power of two", g.Name, g.Len)
+		}
+	}
+}
+
+func assertNoCalls(t *testing.T, fn string, body []Stmt) {
+	t.Helper()
+	for _, s := range body {
+		switch st := s.(type) {
+		case AssignCall:
+			t.Errorf("leaf %s contains a call", fn)
+		case If:
+			assertNoCalls(t, fn, st.Then)
+			assertNoCalls(t, fn, st.Else)
+		case Loop:
+			assertNoCalls(t, fn, st.Body)
+		case Switch:
+			for _, c := range st.Cases {
+				assertNoCalls(t, fn, c)
+			}
+			assertNoCalls(t, fn, st.Default)
+		}
+	}
+}
+
+// TestCallGraphIsDAG verifies termination structurally: generated function
+// i only calls generated functions j > i (or libc).
+func TestCallGraphIsDAG(t *testing.T) {
+	p, _ := ProfileFor("go")
+	m, err := GenerateModule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libc := map[string]bool{}
+	for _, n := range LibcNames() {
+		libc[n] = true
+	}
+	var check func(fidx int, body []Stmt)
+	check = func(fidx int, body []Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case AssignCall:
+				if st.Libc {
+					if !libc[st.Callee] {
+						t.Errorf("f%03d calls unknown libc %q", fidx, st.Callee)
+					}
+					continue
+				}
+				j, err := strconv.Atoi(strings.TrimPrefix(st.Callee, "f"))
+				if err != nil {
+					t.Errorf("unparseable callee %q", st.Callee)
+					continue
+				}
+				if j <= fidx {
+					t.Errorf("f%03d calls f%03d: not a DAG edge", fidx, j)
+				}
+			case If:
+				check(fidx, st.Then)
+				check(fidx, st.Else)
+			case Loop:
+				check(fidx, st.Body)
+			case Switch:
+				for _, c := range st.Cases {
+					check(fidx, c)
+				}
+				check(fidx, st.Default)
+			}
+		}
+	}
+	for i, f := range m.Funcs {
+		check(i, f.Body)
+	}
+}

@@ -1,0 +1,137 @@
+// Package thumb models a Thumb/MIPS16-style re-encoded instruction set
+// (§2.2): a fixed 16-bit subset of the 32-bit ISA restricted to eight
+// registers and short immediates, with mode-switch overhead at the
+// boundaries between 16-bit and 32-bit regions.
+//
+// This is a size model, not an executable re-encoder: the paper itself
+// only compares against Thumb's and MIPS16's published size reductions
+// (~30% and ~40%). The model walks the real instruction stream and
+// classifies each instruction as 16-bit-encodable under Thumb-like rules;
+// it is *optimistic* for Thumb because a real compiler constrained to 8
+// registers would need extra moves and spills the model does not charge.
+package thumb
+
+import (
+	"repro/internal/ppc"
+	"repro/internal/program"
+)
+
+// Result summarizes the re-encoding of one program.
+type Result struct {
+	Insns      int
+	Narrow     int // instructions encodable in 16 bits
+	Wide       int // instructions left at 32 bits
+	SwitchRuns int // contiguous 32-bit regions (each charged a mode switch)
+	Bytes      int // total re-encoded size
+	OrigBytes  int
+}
+
+// Ratio is re-encoded/original size.
+func (r Result) Ratio() float64 {
+	if r.OrigBytes == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / float64(r.OrigBytes)
+}
+
+// switchOverheadBytes models the enter/exit mode-toggling branches around
+// each 32-bit region (Thumb's BX pairs).
+const switchOverheadBytes = 4
+
+// Analyze re-encodes the program under the model.
+func Analyze(p *program.Program) Result {
+	res := Result{Insns: len(p.Text), OrigBytes: p.SizeBytes()}
+	inWide := false
+	for _, w := range p.Text {
+		if Narrowable(w) {
+			res.Narrow++
+			res.Bytes += 2
+			inWide = false
+			continue
+		}
+		res.Wide++
+		res.Bytes += 4
+		if !inWide {
+			res.SwitchRuns++
+			res.Bytes += switchOverheadBytes
+			inWide = true
+		}
+	}
+	return res
+}
+
+// low reports whether a register is one of the eight Thumb-visible ones.
+func low(r uint8) bool { return r < 8 }
+
+// Narrowable reports whether the instruction fits a Thumb-style 16-bit
+// encoding: low registers, destructive two-address arithmetic, short
+// unsigned immediates, short scaled load/store offsets, near branches.
+func Narrowable(w uint32) bool {
+	i := ppc.Decode(w)
+	switch i.Op {
+	case ppc.OpAddi:
+		// add/sub small immediate, destructive, or li with a byte; stack
+		// adjustment maps to Thumb's ADD SP, #imm.
+		if i.RA == 0 {
+			return low(i.RT) && i.Imm >= 0 && i.Imm < 256
+		}
+		if i.RT == 1 && i.RA == 1 {
+			return i.Imm%4 == 0 && i.Imm > -512 && i.Imm < 512
+		}
+		return low(i.RT) && low(i.RA) && i.RT == i.RA && i.Imm > -256 && i.Imm < 256
+	case ppc.OpCmpwi:
+		return i.CRF == 0 && low(i.RA) && i.Imm >= 0 && i.Imm < 256
+	case ppc.OpAdd, ppc.OpSubf, ppc.OpMullw:
+		// Destructive 2-address form on low registers.
+		return low(i.RT) && low(i.RA) && low(i.RB) && (i.RT == i.RA || i.RT == i.RB)
+	case ppc.OpOr:
+		if i.RT == i.RB {
+			return true // mr: Thumb MOV works across high registers too
+		}
+		return low(i.RT) && low(i.RA) && low(i.RB) && (i.RA == i.RT || i.RA == i.RB)
+	case ppc.OpAnd, ppc.OpXor, ppc.OpSlw, ppc.OpSrw, ppc.OpSraw:
+		return low(i.RT) && low(i.RA) && low(i.RB) && (i.RA == i.RT || i.RA == i.RB)
+	case ppc.OpNeg, ppc.OpExtsb, ppc.OpExtsh:
+		return low(i.RT) && low(i.RA)
+	case ppc.OpSrawi:
+		return low(i.RT) && low(i.RA)
+	case ppc.OpRlwinm:
+		// Thumb has immediate shifts; accept the shift simplified forms.
+		simple := (i.MB == 0 && i.ME == 31-i.SH) || // slwi
+			(i.ME == 31 && i.SH == 32-i.MB) || // srwi
+			(i.SH == 0 && i.ME == 31) // clrlwi (masks)
+		return simple && low(i.RT) && low(i.RA)
+	case ppc.OpLwz, ppc.OpStw:
+		if i.RA == 1 {
+			// Thumb LDR/STR Rd, [SP, #imm8<<2].
+			return low(i.RT) && i.Imm >= 0 && i.Imm < 1024 && i.Imm%4 == 0
+		}
+		return low(i.RT) && low(i.RA) && i.Imm >= 0 && i.Imm < 128 && i.Imm%4 == 0
+	case ppc.OpLbz, ppc.OpStb:
+		return low(i.RT) && low(i.RA) && i.Imm >= 0 && i.Imm < 32
+	case ppc.OpLhz, ppc.OpSth:
+		return low(i.RT) && low(i.RA) && i.Imm >= 0 && i.Imm < 64 && i.Imm%2 == 0
+	case ppc.OpLwzx, ppc.OpStwx, ppc.OpLbzx, ppc.OpStbx, ppc.OpLhzx, ppc.OpSthx:
+		// Thumb register-offset loads/stores need all-low registers.
+		return low(i.RT) && low(i.RA) && low(i.RB)
+	case ppc.OpB:
+		if i.LK {
+			// bl is a 32-bit two-halfword pair in Thumb: count as wide
+			// (4 bytes) but without leaving 16-bit mode.
+			return false
+		}
+		return i.Imm > -2048 && i.Imm < 2048
+	case ppc.OpBc:
+		return i.Imm > -256 && i.Imm < 256 && i.BO != ppc.BoDnz
+	case ppc.OpBclr:
+		return i.BO == ppc.BoAlways && !i.LK // bx lr
+	case ppc.OpBcctr:
+		return i.BO == ppc.BoAlways // bx/blx reg
+	case ppc.OpSc:
+		return true // swi imm8
+	case ppc.OpOri:
+		// nop and same-register no-op moves.
+		return i.RT == i.RA && i.Imm == 0 && low(i.RA)
+	}
+	return false
+}

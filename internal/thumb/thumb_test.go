@@ -1,0 +1,87 @@
+package thumb
+
+import (
+	"testing"
+
+	"repro/internal/ppc"
+	"repro/internal/synth"
+)
+
+func TestNarrowableClassification(t *testing.T) {
+	cases := []struct {
+		word uint32
+		want bool
+		why  string
+	}{
+		{ppc.Li(3, 100), true, "li low reg small imm"},
+		{ppc.Li(9, 100), false, "li high reg"},
+		{ppc.Li(3, 300), false, "imm too large"},
+		{ppc.Li(3, -1), false, "negative mov imm"},
+		{ppc.Addi(3, 3, 5), true, "destructive addi"},
+		{ppc.Addi(3, 4, 5), false, "non-destructive addi"},
+		{ppc.Add(3, 3, 4), true, "destructive add"},
+		{ppc.Add(3, 4, 5), false, "3-address add"},
+		{ppc.Add(9, 9, 4), false, "high reg add"},
+		{ppc.And(3, 3, 4), true, "destructive and"},
+		{ppc.Cmpwi(0, 3, 8), true, "cmp low"},
+		{ppc.Cmpwi(1, 3, 8), false, "cmp cr1"},
+		{ppc.Lwz(3, 8, 4), true, "short word load"},
+		{ppc.Lwz(3, 6, 4), false, "unaligned word offset"},
+		{ppc.Lwz(3, 200, 4), false, "long offset"},
+		{ppc.Lwz(3, 8, 28), false, "high base"},
+		{ppc.Lbz(3, 10, 4), true, "short byte load"},
+		{ppc.B(100), true, "near b"},
+		{ppc.B(4000), false, "far b"},
+		{ppc.Bl(100), false, "bl is a 32-bit pair"},
+		{ppc.Beq(0, 60), true, "near bc"},
+		{ppc.Beq(0, 4000), false, "far bc"},
+		{ppc.Bdnz(-8), false, "no ctr loop in thumb"},
+		{ppc.Blr(), true, "bx lr"},
+		{ppc.Bctr(), true, "bx reg"},
+		{ppc.Sc(), true, "swi"},
+		{ppc.Nop(), true, "nop"},
+		{ppc.Mflr(0), false, "spr move"},
+		{ppc.Stmw(29, 52, 1), false, "multi-store"},
+		{ppc.Slwi(3, 3, 2), true, "immediate shift"},
+		{ppc.Srawi(3, 3, 4), true, "asr imm"},
+	}
+	for _, c := range cases {
+		if got := Narrowable(c.word); got != c.want {
+			t.Errorf("%s (%s): got %v, want %v", ppc.Disassemble(c.word), c.why, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeAccounting(t *testing.T) {
+	p, err := synth.Generate("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(p)
+	if r.Narrow+r.Wide != r.Insns {
+		t.Fatalf("classification does not partition: %d+%d != %d", r.Narrow, r.Wide, r.Insns)
+	}
+	wantBytes := 2*r.Narrow + 4*r.Wide + switchOverheadBytes*r.SwitchRuns
+	if r.Bytes != wantBytes {
+		t.Fatalf("bytes %d, want %d", r.Bytes, wantBytes)
+	}
+	if r.SwitchRuns == 0 || r.SwitchRuns > r.Wide {
+		t.Fatalf("switch runs %d implausible (wide %d)", r.SwitchRuns, r.Wide)
+	}
+}
+
+func TestThumbRatioBand(t *testing.T) {
+	// Paper: Thumb ≈30% smaller, MIPS16 ≈40% smaller. The model should
+	// land in the same neighborhood — meaningfully below 1.0 and above
+	// the dictionary schemes' 0.35–0.45.
+	for _, name := range synth.BenchmarkNames() {
+		p, err := synth.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Analyze(p)
+		if r.Ratio() < 0.5 || r.Ratio() > 1.0 {
+			t.Errorf("%s: thumb ratio %.3f outside the plausible band", name, r.Ratio())
+		}
+	}
+}
