@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race smoke check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The bench package's corpus/engine tests are the concurrency-sensitive
+# ones; -race over the whole module exercises them plus the simulator.
+race:
+	$(GO) test -race ./...
+
+# End-to-end sanity: the parallel engine must produce a table and exit 0.
+smoke:
+	$(GO) run ./cmd/experiments -run fig5 -parallel 4
+
+check: vet build race smoke
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -4,15 +4,19 @@
 // Usage:
 //
 //	ccfleet build -scheme baseline -o fleet.ppd a.ppx b.ppx c.ppx
-//	ccfleet compress -dict fleet.ppd -o a.ppz a.ppx
+//	ccfleet compress -dict fleet.ppd a.ppx b.ppx c.ppx
+//	ccfleet compress -dict fleet.ppd -parallel 8 *.ppx
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/codeword"
 	"repro/internal/core"
@@ -38,21 +42,30 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ccfleet build    [-scheme S] [-entrylen N] -o fleet.ppd prog.ppx...
-  ccfleet compress [-scheme S] -dict fleet.ppd [-o out.ppz] prog.ppx`)
+  ccfleet compress [-scheme S] [-parallel N] -dict fleet.ppd [-o out.ppz] prog.ppx...
+	(-o only with a single input; multiple inputs write <prog>.ppz each)`)
 	os.Exit(2)
 }
 
 func readProgram(path string) *program.Program {
-	f, err := os.Open(path)
+	p, err := loadProgram(path)
 	if err != nil {
 		fatal(err)
+	}
+	return p
+}
+
+func loadProgram(path string) (*program.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	p, err := objfile.ReadProgram(f)
 	if err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return p
+	return p, nil
 }
 
 func build(args []string) {
@@ -95,9 +108,13 @@ func compress(args []string) {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	schemeName := fs.String("scheme", "baseline", "codeword scheme")
 	dictPath := fs.String("dict", "", "shared dictionary (.ppd)")
-	out := fs.String("o", "", "output .ppz (default input with .ppz suffix)")
+	out := fs.String("o", "", "output .ppz (single input only; default input with .ppz suffix)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "bound on concurrent compressions")
 	fs.Parse(args)
-	if fs.NArg() != 1 || *dictPath == "" {
+	if fs.NArg() == 0 || *dictPath == "" {
+		usage()
+	}
+	if *out != "" && fs.NArg() > 1 {
 		usage()
 	}
 	scheme, err := cli.ParseScheme(*schemeName)
@@ -113,32 +130,56 @@ func compress(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	in := fs.Arg(0)
-	p := readProgram(in)
-	img, err := core.CompressFixed(p.Clone(), entries, core.Options{Scheme: scheme})
+
+	// Fan the fleet out on the bench engine's bounded pool; result lines
+	// come back in input order regardless of completion order.
+	inputs := fs.Args()
+	lines := make([]string, len(inputs))
+	err = bench.ParallelEach(context.Background(), *parallel, len(inputs), func(i int) error {
+		in := inputs[i]
+		p, err := loadProgram(in)
+		if err != nil {
+			return err
+		}
+		img, err := core.CompressFixed(p.Clone(), entries, core.Options{Scheme: scheme})
+		if err != nil {
+			return fmt.Errorf("%s: %w", in, err)
+		}
+		if err := core.Verify(p, img); err != nil {
+			return fmt.Errorf("%s: verification failed: %w", in, err)
+		}
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(in, ".ppx") + ".ppz"
+		}
+		if err := writeImage(dst, img); err != nil {
+			return err
+		}
+		lines[i] = fmt.Sprintf("%s: stream %d bytes (dictionary shared, %d entries) ratio-with-shared-dict %.3f -> %s",
+			p.Name, img.StreamBytes, len(img.Entries),
+			float64(img.StreamBytes)/float64(img.OriginalBytes), dst)
+		return nil
+	})
+	for _, line := range lines {
+		if line != "" {
+			fmt.Println(line)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
-	if err := core.Verify(p, img); err != nil {
-		fatal(fmt.Errorf("verification failed: %w", err))
-	}
-	dst := *out
-	if dst == "" {
-		dst = strings.TrimSuffix(in, ".ppx") + ".ppz"
-	}
+}
+
+func writeImage(dst string, img *core.Image) error {
 	g, err := os.Create(dst)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := objfile.WriteImage(g, img); err != nil {
-		fatal(err)
+		g.Close()
+		return err
 	}
-	if err := g.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%s: stream %d bytes (dictionary shared, %d entries) ratio-with-shared-dict %.3f -> %s\n",
-		p.Name, img.StreamBytes, len(img.Entries),
-		float64(img.StreamBytes)/float64(img.OriginalBytes), dst)
+	return g.Close()
 }
 
 func lens(entries []dictionary.Entry) []int {

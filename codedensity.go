@@ -23,8 +23,10 @@
 package codedensity
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/codeword"
@@ -187,16 +189,80 @@ func ExperimentIDs() []string {
 	return out
 }
 
-// RunExperiment regenerates one of the paper's tables or figures (or an
-// extension experiment) and returns it rendered as text.
-func RunExperiment(id string) (string, error) {
-	r, ok := bench.Find(id)
-	if !ok {
-		return "", fmt.Errorf("codedensity: unknown experiment %q (have %v)", id, ExperimentIDs())
+// EngineOptions configures RunExperiments.
+type EngineOptions struct {
+	// Parallel bounds concurrently executing work (experiment runners and
+	// the per-benchmark rows inside them share one worker pool). 0 means
+	// runtime.GOMAXPROCS(0); 1 runs fully sequentially. Output is
+	// byte-identical at every setting.
+	Parallel int
+}
+
+// PhaseStat is the accumulated timing of one instrumented phase.
+type PhaseStat struct {
+	Count int64 `json:"count"` // completed invocations
+	Nanos int64 `json:"nanos"` // total duration in nanoseconds
+}
+
+// RunStats is the observability report of one experiment (or a whole
+// run): named counters (corpus.compressions, dict.heap_pops,
+// machine.steps, …) and phase timings (core.analyze/build/encode/patch,
+// experiment.wall).
+type RunStats struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Phases   map[string]PhaseStat `json:"phases,omitempty"`
+}
+
+// ExperimentResult is one experiment's outcome from RunExperiments.
+type ExperimentResult struct {
+	ID    string        `json:"id"`
+	Title string        `json:"title"`
+	Text  string        `json:"-"`    // rendered table (empty if Err)
+	CSV   string        `json:"-"`    // CSV rendering of the same table
+	Err   error         `json:"-"`    // this experiment's failure, if any
+	Wall  time.Duration `json:"wall"` // wall-clock time of the runner
+	Stats RunStats      `json:"stats"`
+}
+
+// RunExperiments regenerates the given tables and figures (nil or empty
+// ids means all of them, in paper order) on a bounded parallel engine over
+// one shared corpus. Results come back in request order with per-
+// experiment stats; the first failing experiment's error (in that order)
+// is returned alongside the full result set. Cancel ctx to abandon
+// unstarted work.
+func RunExperiments(ctx context.Context, ids []string, opt EngineOptions) ([]ExperimentResult, error) {
+	runners, err := bench.ResolveIDs(ids)
+	if err != nil {
+		return nil, fmt.Errorf("codedensity: %w (have %v)", err, ExperimentIDs())
 	}
-	tab, err := r.Run(bench.NewCorpus())
+	engine := bench.NewEngine(bench.NewCorpus(), bench.EngineOptions{Parallel: opt.Parallel})
+	results, runErr := engine.Run(ctx, runners)
+	out := make([]ExperimentResult, len(results))
+	for i, r := range results {
+		er := ExperimentResult{ID: r.ID, Title: r.Title, Err: r.Err, Wall: r.Wall}
+		if r.Table != nil {
+			er.Text = r.Table.Render()
+			er.CSV = r.Table.RenderCSV()
+		}
+		er.Stats = RunStats{Counters: r.Stats.Counters}
+		if len(r.Stats.Phases) > 0 {
+			er.Stats.Phases = make(map[string]PhaseStat, len(r.Stats.Phases))
+			for k, v := range r.Stats.Phases {
+				er.Stats.Phases[k] = PhaseStat{Count: v.Count, Nanos: v.Nanos}
+			}
+		}
+		out[i] = er
+	}
+	return out, runErr
+}
+
+// RunExperiment regenerates one of the paper's tables or figures (or an
+// extension experiment) and returns it rendered as text. It is a thin
+// sequential wrapper around RunExperiments.
+func RunExperiment(id string) (string, error) {
+	results, err := RunExperiments(context.Background(), []string{id}, EngineOptions{Parallel: 1})
 	if err != nil {
 		return "", err
 	}
-	return tab.Render(), nil
+	return results[0].Text, nil
 }

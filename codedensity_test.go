@@ -2,6 +2,7 @@ package codedensity
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -105,6 +106,39 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatalf("unexpected experiment output:\n%s", out)
 	}
 	if _, err := RunExperiment("nonsense"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeRunExperiments(t *testing.T) {
+	results, err := RunExperiments(context.Background(), []string{"fig4", "table2"}, EngineOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "fig4" || results[1].ID != "table2" {
+		t.Fatalf("results out of order: %+v", results)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if r.Text == "" || r.CSV == "" {
+			t.Errorf("%s: missing renderings", r.ID)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("%s: wall time not recorded", r.ID)
+		}
+	}
+	// The stats pipeline reaches the public result: fig4 runs on a fresh
+	// corpus, so it must report compressions and core phase timings.
+	st := results[0].Stats
+	if st.Counters["corpus.compressions"] == 0 {
+		t.Error("fig4 stats missing corpus.compressions")
+	}
+	if st.Phases["core.build"].Count == 0 {
+		t.Error("fig4 stats missing core.build phase")
+	}
+	if _, err := RunExperiments(context.Background(), []string{"nonsense"}, EngineOptions{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -2,10 +2,14 @@
 // figure of the evaluation (plus the extension experiments), shared
 // between the experiments command and the testing.B benchmarks at the
 // repository root. Results come back as renderable tables so both callers
-// print identical rows.
+// print identical rows. The Engine executes runners — and the
+// per-benchmark rows inside them — on a bounded worker pool over a corpus
+// whose caches deduplicate in-flight work, so sweeps scale with cores
+// while producing byte-identical output to a sequential run.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -13,19 +17,53 @@ import (
 	"repro/internal/core"
 	"repro/internal/dictionary"
 	"repro/internal/program"
+	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
-// Corpus memoizes generated benchmarks and compression results so sweeps
-// that revisit configurations do not recompute them.
-type Corpus struct {
+// flight is one singleflight cache slot: the first requester computes the
+// value while later requesters wait on done. Completed flights stay in the
+// cache as the memoized result, so deduplication and memoization are the
+// same mechanism.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+func newFlight[T any]() *flight[T] { return &flight[T]{done: make(chan struct{})} }
+
+// corpusState is the cache shared by every view of a corpus.
+type corpusState struct {
 	mu     sync.Mutex
-	progs  map[string]*program.Program
-	images map[imageKey]*core.Image
+	progs  map[string]*flight[*program.Program]
+	images map[imageKey]*flight[*core.Image]
+}
+
+// Corpus memoizes generated benchmarks and compression results so sweeps
+// that revisit configurations do not recompute them. It is safe for
+// concurrent use: parallel callers asking for the same key never duplicate
+// a generation or compression (the loser waits for the winner's result),
+// and no lock is held across the underlying computation.
+//
+// A Corpus value is a view: Bound returns a view sharing the same caches
+// but carrying a context for cancellation, a worker pool for row-level
+// parallelism, and a stats recorder. The zero-configured view from
+// NewCorpus runs sequentially and records nothing.
+type Corpus struct {
+	state *corpusState
+
+	// Engine-bound view configuration (nil/zero on a plain corpus).
+	ctx context.Context
+	sem chan struct{} // bounded worker pool; nil means sequential rows
+	rec *stats.Recorder
 }
 
 // imageKey captures the cacheable compression parameters. Profile-guided
 // runs (Options.DynProfile) are never cached; callers compress directly.
+// Keys are computed over core-normalized Options so configurations that
+// produce identical images (e.g. MaxEntries 0 vs an explicit scheme
+// maximum) share one cache entry.
 type imageKey struct {
 	name        string
 	scheme      codeword.Scheme
@@ -35,6 +73,7 @@ type imageKey struct {
 }
 
 func keyFor(name string, opt core.Options) imageKey {
+	opt = opt.Normalized()
 	return imageKey{
 		name:        name,
 		scheme:      opt.Scheme,
@@ -46,10 +85,31 @@ func keyFor(name string, opt core.Options) imageKey {
 
 // NewCorpus creates an empty cache.
 func NewCorpus() *Corpus {
-	return &Corpus{
-		progs:  map[string]*program.Program{},
-		images: map[imageKey]*core.Image{},
+	return &Corpus{state: &corpusState{
+		progs:  map[string]*flight[*program.Program]{},
+		images: map[imageKey]*flight[*core.Image]{},
+	}}
+}
+
+// Bound returns a view of the corpus sharing its caches but carrying the
+// engine's context (checked before starting and while waiting for work),
+// worker pool (used by runners for row-level parallelism) and recorder
+// (receives corpus, pipeline and machine counters). Any argument may be
+// nil.
+func (c *Corpus) Bound(ctx context.Context, sem chan struct{}, rec *stats.Recorder) *Corpus {
+	return &Corpus{state: c.state, ctx: ctx, sem: sem, rec: rec}
+}
+
+// Recorder returns the view's stats recorder (nil on an unbound corpus —
+// still a valid sink).
+func (c *Corpus) Recorder() *stats.Recorder { return c.rec }
+
+// err reports the view's cancellation state.
+func (c *Corpus) err() error {
+	if c.ctx == nil {
+		return nil
 	}
+	return c.ctx.Err()
 }
 
 // Names lists the benchmarks in the paper's order.
@@ -59,55 +119,210 @@ func (c *Corpus) Names() []string { return synth.BenchmarkNames() }
 // image cache — benchmarks use it so each timed iteration re-runs the
 // compression being measured while amortizing program generation.
 func (c *Corpus) Fork() *Corpus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
 	f := NewCorpus()
-	for k, v := range c.progs {
-		f.progs[k] = v
+	for k, v := range c.state.progs {
+		f.state.progs[k] = v
 	}
 	return f
 }
 
-// Program returns the named benchmark, generating it on first use.
-func (c *Corpus) Program(name string) (*program.Program, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.progs[name]; ok {
-		return p, nil
+// wait blocks until the flight completes or the view is cancelled.
+func waitFlight[T any](c *Corpus, f *flight[T]) (T, error) {
+	if c.ctx == nil {
+		<-f.done
+	} else {
+		select {
+		case <-f.done:
+		case <-c.ctx.Done():
+			var zero T
+			return zero, c.ctx.Err()
+		}
 	}
-	p, err := synth.Generate(name)
-	if err != nil {
-		return nil, err
-	}
-	c.progs[name] = p
-	return p, nil
+	return f.val, f.err
 }
 
-// Image compresses the named benchmark under the options, memoized.
-// Options carrying a DynProfile are rejected — profile-guided images are
-// not cacheable by parameters alone.
+// Program returns the named benchmark, generating it on first use. Only
+// one caller generates a given benchmark; concurrent requesters share the
+// result.
+func (c *Corpus) Program(name string) (*program.Program, error) {
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	st := c.state
+	st.mu.Lock()
+	f, ok := st.progs[name]
+	if ok {
+		st.mu.Unlock()
+		return waitFlight(c, f)
+	}
+	f = newFlight[*program.Program]()
+	st.progs[name] = f
+	st.mu.Unlock()
+
+	stop := c.rec.Time("corpus.generate")
+	f.val, f.err = synth.Generate(name)
+	stop()
+	c.rec.Add("corpus.generations", 1)
+	close(f.done)
+	return f.val, f.err
+}
+
+// Image compresses the named benchmark under the options, memoized on the
+// normalized parameters. Only one caller compresses a given configuration;
+// concurrent requesters share the result. Options carrying a DynProfile
+// are rejected — profile-guided images are not cacheable by parameters
+// alone.
 func (c *Corpus) Image(name string, opt core.Options) (*core.Image, error) {
 	if opt.DynProfile != nil {
 		return nil, fmt.Errorf("bench: profile-guided compression is not cacheable; call core.Compress directly")
 	}
-	key := keyFor(name, opt)
-	c.mu.Lock()
-	if img, ok := c.images[key]; ok {
-		c.mu.Unlock()
-		return img, nil
+	if err := c.err(); err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
+	key := keyFor(name, opt)
+	st := c.state
+	st.mu.Lock()
+	f, ok := st.images[key]
+	if ok {
+		st.mu.Unlock()
+		return waitFlight(c, f)
+	}
+	f = newFlight[*core.Image]()
+	st.images[key] = f
+	st.mu.Unlock()
 
+	f.val, f.err = c.compress(name, opt)
+	close(f.done)
+	return f.val, f.err
+}
+
+// compress is the flight body: generate (or fetch) the program, then run
+// the pipeline with the view's recorder threaded through.
+func (c *Corpus) compress(name string, opt core.Options) (*core.Image, error) {
 	p, err := c.Program(name)
 	if err != nil {
 		return nil, err
 	}
+	opt.Stats = c.rec
+	stop := c.rec.Time("corpus.compress")
 	img, err := core.Compress(p.Clone(), opt)
+	stop()
+	c.rec.Add("corpus.compressions", 1)
 	if err != nil {
 		return nil, fmt.Errorf("bench: compressing %s: %w", name, err)
 	}
-	c.mu.Lock()
-	c.images[key] = img
-	c.mu.Unlock()
 	return img, nil
+}
+
+// each runs fn(0..n-1) and returns the first error. On an engine-bound
+// view it distributes the indices over the shared worker pool: the calling
+// goroutine always participates (it already owns a pool slot, so progress
+// is guaranteed even when the pool is saturated), and helper goroutines
+// join for any additional slots they can acquire. On a plain corpus it is
+// a sequential loop. Completion order is arbitrary; callers index into
+// pre-sized result slices to keep output deterministic.
+func (c *Corpus) each(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if c.sem == nil || cap(c.sem) <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := c.err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	work := func() {
+		for {
+			if err := c.err(); err != nil {
+				fail(err)
+				return
+			}
+			i, ok := claim()
+			if !ok {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	helpers := cap(c.sem)
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var ctxDone <-chan struct{}
+	if c.ctx != nil {
+		ctxDone = c.ctx.Done()
+	}
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case c.sem <- struct{}{}:
+				defer func() { <-c.sem }()
+				work()
+			case <-done:
+			case <-ctxDone:
+			}
+		}()
+	}
+	work() // caller participates on its own pool slot
+	close(done)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// rowsInOrder builds n table rows concurrently on the corpus's pool and
+// appends them to t in index order, so parallel execution renders
+// byte-identically to sequential.
+func rowsInOrder(c *Corpus, t *Table, n int, fn func(i int) ([]string, error)) error {
+	rows := make([][]string, n)
+	if err := c.each(n, func(i int) error {
+		row, err := fn(i)
+		rows[i] = row
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return nil
 }

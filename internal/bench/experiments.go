@@ -21,7 +21,10 @@ func baselineOpts() core.Options {
 	return core.Options{Scheme: codeword.Baseline, MaxEntryLen: 4}
 }
 
-// Runner is one experiment.
+// Runner is one experiment. Run receives a corpus view; when the view is
+// engine-bound, helpers like rowsInOrder execute the per-benchmark rows on
+// the engine's worker pool. Runners must produce identical tables
+// regardless of the view's parallelism.
 type Runner struct {
 	ID    string
 	Title string
@@ -68,19 +71,24 @@ func Fig1(c *Corpus) (*Table, error) {
 		Note: "paper: single-use <20% on average; for go, top 1% of distinct words " +
 			"cover 30% and top 10% cover 66% of the program",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
 		}
 		e := profile.AnalyzeEncodings(p)
-		t.AddRow(name,
+		return []string{name,
 			fmt.Sprint(e.TotalInsns),
 			fmt.Sprint(e.DistinctEncodings),
 			pct(e.MultiUseFrac()),
 			pct(e.SingleUseFrac()),
 			pct(e.Coverage(0.01)),
-			pct(e.Coverage(0.10)))
+			pct(e.Coverage(0.10))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -93,16 +101,21 @@ func Table1(c *Corpus) (*Table, error) {
 		Columns: []string{"bench", "rel-branches", "no-2-byte", "%", "no-1-byte", "%", "no-4-bit", "%"},
 		Note:    "paper: small overflow tails that grow as target resolution shrinks",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
 		}
 		u := profile.AnalyzeBranchOffsets(p)
-		t.AddRow(name, fmt.Sprint(u.RelativeBranches),
+		return []string{name, fmt.Sprint(u.RelativeBranches),
 			fmt.Sprint(u.TooNarrow2Byte), pct(u.Frac2Byte()),
 			fmt.Sprint(u.TooNarrow1Byte), pct(u.Frac1Byte()),
-			fmt.Sprint(u.TooNarrow4Bit), pct(u.Frac4Bit()))
+			fmt.Sprint(u.TooNarrow4Bit), pct(u.Frac4Bit())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -117,7 +130,9 @@ func Fig4(c *Corpus) (*Table, error) {
 		Note: "paper: ratio improves to length 4, then flattens or declines at 8 " +
 			"(greedy picks large entries that destroy overlapping short matches)",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		row := []string{name}
 		for _, l := range lens {
 			opt := baselineOpts()
@@ -128,7 +143,10 @@ func Fig4(c *Corpus) (*Table, error) {
 			}
 			row = append(row, ratioStr(img.Ratio()))
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -146,18 +164,27 @@ func Fig5(c *Corpus) (*Table, error) {
 	for _, s := range sizes {
 		t.Columns = append(t.Columns, fmt.Sprint(s))
 	}
-	for _, name := range c.Names() {
-		row := []string{name}
-		for _, s := range sizes {
-			opt := baselineOpts()
-			opt.MaxEntries = s
-			img, err := c.Image(name, opt)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ratioStr(img.Ratio()))
+	// One work item per (benchmark, size) point: the sweep's cells are
+	// independent compressions, so they saturate the pool instead of
+	// serializing per row.
+	names := c.Names()
+	cells := make([]string, len(names)*len(sizes))
+	err := c.each(len(cells), func(k int) error {
+		name, s := names[k/len(sizes)], sizes[k%len(sizes)]
+		opt := baselineOpts()
+		opt.MaxEntries = s
+		img, err := c.Image(name, opt)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		cells[k] = ratioStr(img.Ratio())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		t.AddRow(append([]string{name}, cells[i*len(sizes):(i+1)*len(sizes)]...)...)
 	}
 	return t, nil
 }
@@ -171,12 +198,17 @@ func Table2(c *Corpus) (*Table, error) {
 		Note: "paper (full-size SPEC): compress 647 … gcc 7927; the stand-ins are " +
 			"~10x smaller so counts scale down, but the ordering tracks program size",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		img, err := c.Image(name, baselineOpts())
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, fmt.Sprint(len(img.Entries)), ratioStr(img.Ratio()))
+		return []string{name, fmt.Sprint(len(img.Entries)), ratioStr(img.Ratio())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -190,7 +222,8 @@ func Fig6(c *Corpus) (*Table, error) {
 		Columns: []string{"dict size", "len1", "len2", "len3", "len4", "len5-8", "%len1"},
 		Note:    "paper: single-instruction entries are 48–80% of the dictionary, growing with size",
 	}
-	for _, s := range sizes {
+	err := rowsInOrder(c, t, len(sizes), func(i int) ([]string, error) {
+		s := sizes[i]
 		opt := core.Options{Scheme: codeword.Baseline, MaxEntries: s, MaxEntryLen: 8}
 		img, err := c.Image("ijpeg", opt)
 		if err != nil {
@@ -211,8 +244,11 @@ func Fig6(c *Corpus) (*Table, error) {
 		if total > 0 {
 			fr = float64(byLen[1]) / float64(total)
 		}
-		t.AddRow(fmt.Sprint(s), fmt.Sprint(byLen[1]), fmt.Sprint(byLen[2]),
-			fmt.Sprint(byLen[3]), fmt.Sprint(byLen[4]), fmt.Sprint(long), pct(fr))
+		return []string{fmt.Sprint(s), fmt.Sprint(byLen[1]), fmt.Sprint(byLen[2]),
+			fmt.Sprint(byLen[3]), fmt.Sprint(byLen[4]), fmt.Sprint(long), pct(fr)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -226,7 +262,8 @@ func Fig7(c *Corpus) (*Table, error) {
 		Columns: []string{"dict size", "len1", "len2", "len3", "len4", "len5-8", "%from-len1"},
 		Note:    "paper: 1-instruction entries contribute roughly half the savings",
 	}
-	for _, s := range sizes {
+	err := rowsInOrder(c, t, len(sizes), func(i int) ([]string, error) {
+		s := sizes[i]
 		opt := core.Options{Scheme: codeword.Baseline, MaxEntries: s, MaxEntryLen: 8}
 		img, err := c.Image("ijpeg", opt)
 		if err != nil {
@@ -249,8 +286,11 @@ func Fig7(c *Corpus) (*Table, error) {
 		if total > 0 {
 			fr = float64(saved[1]) / float64(total)
 		}
-		t.AddRow(fmt.Sprint(s), fmt.Sprint(saved[1]), fmt.Sprint(saved[2]),
-			fmt.Sprint(saved[3]), fmt.Sprint(saved[4]), fmt.Sprint(long), pct(fr))
+		return []string{fmt.Sprint(s), fmt.Sprint(saved[1]), fmt.Sprint(saved[2]),
+			fmt.Sprint(saved[3]), fmt.Sprint(saved[4]), fmt.Sprint(long), pct(fr)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -263,20 +303,31 @@ func Fig8(c *Corpus) (*Table, error) {
 		Columns: []string{"bench", "8 (128B dict)", "16 (256B dict)", "32 (512B dict)"},
 		Note:    "paper: a 512-byte dictionary already yields ~15% code reduction on average",
 	}
-	var sum [3]float64
-	for _, name := range c.Names() {
+	names := c.Names()
+	ratios := make([][3]float64, len(names))
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		row := []string{name}
-		for i, n := range []int{8, 16, 32} {
+		for j, n := range []int{8, 16, 32} {
 			img, err := c.Image(name, core.Options{Scheme: codeword.OneByte, MaxEntries: n, MaxEntryLen: 4})
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, ratioStr(img.Ratio()))
-			sum[i] += img.Ratio()
+			ratios[i][j] = img.Ratio()
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	n := float64(len(c.Names()))
+	var sum [3]float64
+	for _, r := range ratios {
+		for j, v := range r {
+			sum[j] += v
+		}
+	}
+	n := float64(len(names))
 	t.AddRow("mean", ratioStr(sum[0]/n), ratioStr(sum[1]/n), ratioStr(sum[2]/n))
 	return t, nil
 }
@@ -290,7 +341,9 @@ func Fig9(c *Corpus) (*Table, error) {
 		Note: "paper: with 8192 codewords ~40% of the compressed program is codeword " +
 			"bytes, half of which are escape bytes",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		img, err := c.Image(name, baselineOpts())
 		if err != nil {
 			return nil, err
@@ -300,7 +353,10 @@ func Fig9(c *Corpus) (*Table, error) {
 		idx := float64(img.Stats.CodewordBits-img.Stats.EscapeBits) / 8
 		raw := float64(img.Stats.RawBits) / 8
 		dict := float64(img.DictionaryBytes)
-		t.AddRow(name, pct(raw/total), pct(idx/total), pct(esc/total), pct(dict/total))
+		return []string{name, pct(raw / total), pct(idx / total), pct(esc / total), pct(dict / total)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -314,7 +370,9 @@ func Fig11(c *Corpus) (*Table, error) {
 		Note: "paper: nibble-aligned achieves 30–50% reduction and stays within ~5 " +
 			"percentage points of Compress on every benchmark",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		img, err := c.Image(name, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
 		if err != nil {
 			return nil, err
@@ -324,7 +382,11 @@ func Fig11(c *Corpus) (*Table, error) {
 			return nil, err
 		}
 		lr := lzw.Ratio(p.TextBytes())
-		t.AddRow(name, ratioStr(img.Ratio()), ratioStr(lr), fmt.Sprintf("%+.1fpp", 100*(img.Ratio()-lr)))
+		return []string{name, ratioStr(img.Ratio()), ratioStr(lr),
+			fmt.Sprintf("%+.1fpp", 100*(img.Ratio()-lr))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -338,14 +400,19 @@ func Table3(c *Corpus) (*Table, error) {
 		Note: "paper: combined ~12% of program size; the stand-ins run a few points " +
 			"lower because generated functions are larger than SPEC's average",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
 		}
 		pe := profile.AnalyzePrologueEpilogue(p)
-		t.AddRow(name, pct(pe.PrologueFrac()), pct(pe.EpilogueFrac()),
-			pct(pe.PrologueFrac()+pe.EpilogueFrac()))
+		return []string{name, pct(pe.PrologueFrac()), pct(pe.EpilogueFrac()),
+			pct(pe.PrologueFrac() + pe.EpilogueFrac())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -361,7 +428,9 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 			"thumb16 is the §2.2 fixed-16-bit re-encoding model (optimistic for Thumb)",
 	}
 	model := huffman.DefaultCCRP()
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -378,9 +447,11 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, ratioStr(cc.Ratio()), ratioStr(lzw.Ratio(p.TextBytes())),
-			ratioStr(thumb.Analyze(p).Ratio()))
-		t.AddRow(row...)
+		return append(row, ratioStr(cc.Ratio()), ratioStr(lzw.Ratio(p.TextBytes())),
+			ratioStr(thumb.Analyze(p).Ratio())), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -403,49 +474,63 @@ func ExtICache(c *Corpus) (*Table, error) {
 	for _, s := range sizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("orig@%d", s), fmt.Sprintf("comp@%d", s))
 	}
-	for _, name := range icacheBenchmarks {
+	// One work item per (benchmark, cache size): the 2·|sizes| simulations
+	// per benchmark dominate this runner's cost.
+	type cell struct{ orig, comp string }
+	cells := make([]cell, len(icacheBenchmarks)*len(sizes))
+	err := c.each(len(cells), func(k int) error {
+		name, s := icacheBenchmarks[k/len(sizes)], sizes[k%len(sizes)]
 		p, err := c.Program(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		img, err := c.Image(name, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		mrO, err := missRate(c, s, func(cc *cache.Cache) error {
+			cpu, err := machine.NewForProgram(p)
+			if err != nil {
+				return err
+			}
+			cpu.Record = c.Recorder()
+			cpu.TraceFetch = cc.Access
+			_, err = cpu.Run(200_000_000)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		mrC, err := missRate(c, s, func(cc *cache.Cache) error {
+			cpu, err := core.NewMachine(img)
+			if err != nil {
+				return err
+			}
+			cpu.Record = c.Recorder()
+			cpu.TraceFetch = cc.Access
+			_, err = cpu.Run(200_000_000)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		cells[k] = cell{pct(mrO), pct(mrC)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range icacheBenchmarks {
 		row := []string{name}
-		for _, s := range sizes {
-			mrO, err := missRate(s, func(cc *cache.Cache) error {
-				cpu, err := machine.NewForProgram(p)
-				if err != nil {
-					return err
-				}
-				cpu.TraceFetch = cc.Access
-				_, err = cpu.Run(200_000_000)
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			mrC, err := missRate(s, func(cc *cache.Cache) error {
-				cpu, err := core.NewMachine(img)
-				if err != nil {
-					return err
-				}
-				cpu.TraceFetch = cc.Access
-				_, err = cpu.Run(200_000_000)
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(mrO), pct(mrC))
+		for _, cl := range cells[i*len(sizes) : (i+1)*len(sizes)] {
+			row = append(row, cl.orig, cl.comp)
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
 }
 
-func missRate(size int, run func(*cache.Cache) error) (float64, error) {
+func missRate(c *Corpus, size int, run func(*cache.Cache) error) (float64, error) {
 	cc, err := cache.New(cache.Config{SizeBytes: size, LineBytes: 32, Assoc: 1})
 	if err != nil {
 		return 0, err
@@ -453,6 +538,8 @@ func missRate(size int, run func(*cache.Cache) error) (float64, error) {
 	if err := run(cc); err != nil {
 		return 0, err
 	}
+	c.Recorder().Add("cache.accesses", cc.Stats.Accesses)
+	c.Recorder().Add("cache.misses", cc.Stats.Misses)
 	return cc.Stats.MissRate(), nil
 }
 
@@ -465,7 +552,9 @@ func ExtPenalty(c *Corpus) (*Table, error) {
 		Note: "outputs are verified identical; extra steps come only from far-branch " +
 			"stubs, and fetch traffic shows the density win at the memory interface",
 	}
-	for _, name := range []string{"compress", "li", "go", "perl"} {
+	names := []string{"compress", "li", "go", "perl"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -478,11 +567,14 @@ func ExtPenalty(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name,
+		return []string{name,
 			fmt.Sprint(orig.Stats.Steps), fmt.Sprint(comp.Stats.Steps),
 			fmt.Sprintf("%+d", comp.Stats.Steps-orig.Stats.Steps),
 			fmt.Sprint(orig.Stats.FetchedBytes), fmt.Sprint(comp.Stats.FetchedBytes),
-			pct(float64(comp.Stats.FetchedBytes)/float64(orig.Stats.FetchedBytes)))
+			pct(float64(comp.Stats.FetchedBytes) / float64(orig.Stats.FetchedBytes))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -495,7 +587,9 @@ func AblationSelection(c *Corpus) (*Table, error) {
 		Columns: []string{"bench", "greedy", "static", "delta"},
 		Note:    "greedy's savings re-evaluation should never lose to a one-shot ranking",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		g, err := c.Image(name, baselineOpts())
 		if err != nil {
 			return nil, err
@@ -506,8 +600,11 @@ func AblationSelection(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, ratioStr(g.Ratio()), ratioStr(s.Ratio()),
-			fmt.Sprintf("%+.1fpp", 100*(g.Ratio()-s.Ratio())))
+		return []string{name, ratioStr(g.Ratio()), ratioStr(s.Ratio()),
+			fmt.Sprintf("%+.1fpp", 100*(g.Ratio()-s.Ratio()))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -523,7 +620,9 @@ func AblationAlignment(c *Corpus) (*Table, error) {
 		Note: "padding every branch target back to word alignment surrenders part " +
 			"of the nibble scheme's gain — the paper's reason for modifying the control unit",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -537,8 +636,11 @@ func AblationAlignment(c *Corpus) (*Table, error) {
 			return nil, err
 		}
 		pr := float64(padded+img.DictionaryBytes) / float64(img.OriginalBytes)
-		t.AddRow(name, ratioStr(img.Ratio()), ratioStr(pr),
-			fmt.Sprintf("%+.1fpp", 100*(pr-img.Ratio())))
+		return []string{name, ratioStr(img.Ratio()), ratioStr(pr),
+			fmt.Sprintf("%+.1fpp", 100*(pr-img.Ratio()))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -43,6 +43,7 @@ func init() {
 // not its absolute counts).
 func ExtScaling(c *Corpus) (*Table, error) {
 	scales := []float64{0.5, 1, 2, 4}
+	names := []string{"li", "gcc"}
 	t := &Table{
 		ID:      "scaling",
 		Title:   "Ratio and max codewords vs program scale (baseline scheme, entries ≤ 4)",
@@ -51,19 +52,24 @@ func ExtScaling(c *Corpus) (*Table, error) {
 			"counts grow toward the paper's Table 2 magnitudes as programs approach " +
 			"real SPEC sizes",
 	}
-	for _, name := range []string{"li", "gcc"} {
-		for _, s := range scales {
-			p, err := synth.GenerateScaled(name, s)
-			if err != nil {
-				return nil, err
-			}
-			img, err := core.Compress(p.Clone(), core.Options{Scheme: codeword.Baseline, MaxEntryLen: 4})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, fmt.Sprintf("%gx", s), fmt.Sprint(len(p.Text)),
-				ratioStr(img.Ratio()), fmt.Sprint(len(img.Entries)))
+	// One work item per (benchmark, scale): each point regenerates and
+	// compresses a whole program, so points are the natural parallel unit.
+	err := rowsInOrder(c, t, len(names)*len(scales), func(k int) ([]string, error) {
+		name, s := names[k/len(scales)], scales[k%len(scales)]
+		p, err := synth.GenerateScaled(name, s)
+		if err != nil {
+			return nil, err
 		}
+		opt := core.Options{Scheme: codeword.Baseline, MaxEntryLen: 4, Stats: c.Recorder()}
+		img, err := core.Compress(p.Clone(), opt)
+		if err != nil {
+			return nil, err
+		}
+		return []string{name, fmt.Sprintf("%gx", s), fmt.Sprint(len(p.Text)),
+			ratioStr(img.Ratio()), fmt.Sprint(len(img.Entries))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -76,6 +82,7 @@ func ExtScaling(c *Corpus) (*Table, error) {
 // speed" trade turns into a win.
 func ExtCrossover(c *Corpus) (*Table, error) {
 	penalties := []int64{0, 2, 5, 10, 20, 50}
+	names := []string{"compress", "li", "go", "gcc"}
 	t := &Table{
 		ID:    "crossover",
 		Title: "Speedup of nibble-compressed execution vs miss penalty (1KB I-cache, pipeline model)",
@@ -86,37 +93,46 @@ func ExtCrossover(c *Corpus) (*Table, error) {
 	for _, mp := range penalties {
 		t.Columns = append(t.Columns, fmt.Sprintf("miss=%d", mp))
 	}
-	for _, name := range []string{"compress", "li", "go", "gcc"} {
+	// One work item per (benchmark, penalty) point: each runs two full
+	// pipeline simulations.
+	cells := make([]string, len(names)*len(penalties))
+	err := c.each(len(cells), func(k int) error {
+		name, mp := names[k/len(penalties)], penalties[k%len(penalties)]
 		p, err := c.Program(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		img, err := c.Image(name, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []string{name}
-		for _, mp := range penalties {
-			cfg := pipeline.DefaultConfig(mp)
-			ncpu, err := newNative(p)
-			if err != nil {
-				return nil, err
-			}
-			nr, err := pipeline.Measure(ncpu, cfg, 200_000_000)
-			if err != nil {
-				return nil, err
-			}
-			ccpu, err := core.NewMachine(img)
-			if err != nil {
-				return nil, err
-			}
-			cr, err := pipeline.Measure(ccpu, cfg, 200_000_000)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2fx", float64(nr.Cycles)/float64(cr.Cycles)))
+		cfg := pipeline.DefaultConfig(mp)
+		ncpu, err := newNative(p)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		ncpu.Record = c.Recorder()
+		nr, err := pipeline.Measure(ncpu, cfg, 200_000_000)
+		if err != nil {
+			return err
+		}
+		ccpu, err := core.NewMachine(img)
+		if err != nil {
+			return err
+		}
+		ccpu.Record = c.Recorder()
+		cr, err := pipeline.Measure(ccpu, cfg, 200_000_000)
+		if err != nil {
+			return err
+		}
+		cells[k] = fmt.Sprintf("%.2fx", float64(nr.Cycles)/float64(cr.Cycles))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		t.AddRow(append([]string{name}, cells[i*len(penalties):(i+1)*len(penalties)]...)...)
 	}
 	return t, nil
 }
@@ -128,13 +144,14 @@ func ExtCrossover(c *Corpus) (*Table, error) {
 // against its own method), but the shared dictionary is stored once.
 func ExtShared(c *Corpus) (*Table, error) {
 	opt := core.Options{Scheme: codeword.Baseline, MaxEntryLen: 4}
-	var progs []*program.Program
-	for _, name := range c.Names() {
-		p, err := c.Program(name)
-		if err != nil {
-			return nil, err
-		}
-		progs = append(progs, p)
+	names := c.Names()
+	progs := make([]*program.Program, len(names))
+	if err := c.each(len(names), func(i int) error {
+		p, err := c.Program(names[i])
+		progs[i] = p
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	shared, err := core.BuildSharedDictionary(progs, opt)
 	if err != nil {
@@ -150,8 +167,10 @@ func ExtShared(c *Corpus) (*Table, error) {
 			"'shared stream ratio' counts each program's stream only — the fleet totals "+
 			"below include the single dictionary", len(shared), sharedDictBytes),
 	}
-	var fleetOwn, fleetSharedStream, fleetOrig int
-	for i, name := range c.Names() {
+	type acc struct{ own, sharedStream, orig int }
+	accs := make([]acc, len(names))
+	err = rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		own, err := c.Image(name, opt)
 		if err != nil {
 			return nil, err
@@ -163,13 +182,20 @@ func ExtShared(c *Corpus) (*Table, error) {
 		if err := core.Verify(progs[i], sh); err != nil {
 			return nil, fmt.Errorf("shared-dictionary image for %s fails verification: %w", name, err)
 		}
+		accs[i] = acc{own.CompressedBytes(), sh.StreamBytes, own.OriginalBytes}
 		ownRatio := own.Ratio()
 		shRatio := float64(sh.StreamBytes) / float64(sh.OriginalBytes)
-		t.AddRow(name, ratioStr(ownRatio), ratioStr(shRatio),
-			fmt.Sprintf("%+.1fpp", 100*(shRatio-ownRatio)))
-		fleetOwn += own.CompressedBytes()
-		fleetSharedStream += sh.StreamBytes
-		fleetOrig += own.OriginalBytes
+		return []string{name, ratioStr(ownRatio), ratioStr(shRatio),
+			fmt.Sprintf("%+.1fpp", 100*(shRatio-ownRatio))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fleetOwn, fleetSharedStream, fleetOrig int
+	for _, a := range accs {
+		fleetOwn += a.own
+		fleetSharedStream += a.sharedStream
+		fleetOrig += a.orig
 	}
 	t.AddRow("fleet",
 		ratioStr(float64(fleetOwn)/float64(fleetOrig)),
@@ -203,7 +229,9 @@ func ExtRefill(c *Corpus) (*Table, error) {
 			"words entirely (on-chip expansion); CCRP refills Huffman-compressed " +
 			"lines but touches every line the original touches",
 	}
-	for _, name := range []string{"compress", "li", "go"} {
+	names := []string{"compress", "li", "go"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -217,6 +245,7 @@ func ExtRefill(c *Corpus) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			cpu.Record = c.Recorder()
 			cpu.TraceFetch = ic.Access
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, err
@@ -243,12 +272,16 @@ func ExtRefill(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		ccpu.Record = c.Recorder()
 		if _, err := ccpu.Run(200_000_000); err != nil {
 			return nil, err
 		}
 		ccrp := ccpu.Stats.FetchedBytes
-		t.AddRow(name, fmt.Sprint(orig), fmt.Sprint(dict), fmt.Sprint(ccrp),
-			pct(float64(dict)/float64(orig)), pct(float64(ccrp)/float64(orig)))
+		return []string{name, fmt.Sprint(orig), fmt.Sprint(dict), fmt.Sprint(ccrp),
+			pct(float64(dict) / float64(orig)), pct(float64(ccrp) / float64(orig))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -266,7 +299,9 @@ func ExtRegalloc(c *Corpus) (*Table, error) {
 		Note: "§5: 'allocating registers so that common sequences of instructions use " +
 			"the same registers' is worth several ratio points — shown here by breaking it",
 	}
-	for _, name := range []string{"compress", "li", "ijpeg", "go"} {
+	names := []string{"compress", "li", "ijpeg", "go"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		img, err := c.Image(name, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
 		if err != nil {
 			return nil, err
@@ -280,7 +315,7 @@ func ExtRegalloc(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		simg, err := core.Compress(sp.Clone(), core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
+		simg, err := core.Compress(sp.Clone(), core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4, Stats: c.Recorder()})
 		if err != nil {
 			return nil, err
 		}
@@ -295,21 +330,25 @@ func ExtRegalloc(c *Corpus) (*Table, error) {
 			}
 			return len(m)
 		}
-		t.AddRow(name, ratioStr(img.Ratio()), ratioStr(simg.Ratio()),
+		return []string{name, ratioStr(img.Ratio()), ratioStr(simg.Ratio()),
 			fmt.Sprintf("%+.1fpp", 100*(simg.Ratio()-img.Ratio())),
-			fmt.Sprintf("%d -> %d", distinct(p), distinct(sp)))
+			fmt.Sprintf("%d -> %d", distinct(p), distinct(sp))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // collectProfile runs the original program once and counts how often each
 // text word is fetched.
-func collectProfile(p *program.Program) ([]int64, error) {
+func collectProfile(c *Corpus, p *program.Program) ([]int64, error) {
 	counts := make([]int64, len(p.Text))
 	cpu, err := machine.NewForProgram(p)
 	if err != nil {
 		return nil, err
 	}
+	cpu.Record = c.Recorder()
 	cpu.TraceFetch = func(addr uint32, n int) {
 		idx := int(addr-p.TextBase) / 4
 		if idx >= 0 && idx < len(counts) {
@@ -334,12 +373,14 @@ func ExtProfiled(c *Corpus) (*Table, error) {
 		Note: "ranking dictionary entries by dynamic fetch count instead of static use " +
 			"count shifts the shortest codewords onto the hottest code paths",
 	}
-	for _, name := range []string{"compress", "li", "go", "perl"} {
+	names := []string{"compress", "li", "go", "perl"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
 		}
-		prof, err := collectProfile(p)
+		prof, err := collectProfile(c, p)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +389,7 @@ func ExtProfiled(c *Corpus) (*Table, error) {
 			return nil, err
 		}
 		dyn, err := core.Compress(p.Clone(), core.Options{
-			Scheme: codeword.Nibble, MaxEntryLen: 4, DynProfile: prof,
+			Scheme: codeword.Nibble, MaxEntryLen: 4, DynProfile: prof, Stats: c.Recorder(),
 		})
 		if err != nil {
 			return nil, err
@@ -361,6 +402,7 @@ func ExtProfiled(c *Corpus) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			cpu.Record = c.Recorder()
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, err
 			}
@@ -374,9 +416,12 @@ func ExtProfiled(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, ratioStr(static.Ratio()), ratioStr(dyn.Ratio()),
+		return []string{name, ratioStr(static.Ratio()), ratioStr(dyn.Ratio()),
 			fmt.Sprint(fs), fmt.Sprint(fd),
-			fmt.Sprintf("%+.1f%%", 100*(float64(fd)/float64(fs)-1)))
+			fmt.Sprintf("%+.1f%%", 100*(float64(fd)/float64(fs)-1))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -394,7 +439,9 @@ func ExtStandardize(c *Corpus) (*Table, error) {
 			"size at the expense of execution time'; net < 0 means the compressed " +
 			"standardized program is smaller than the compressed original",
 	}
-	for _, name := range c.Names() {
+	names := c.Names()
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -412,16 +459,19 @@ func ExtStandardize(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		simg, err := core.Compress(sp.Clone(), core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
+		simg, err := core.Compress(sp.Clone(), core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4, Stats: c.Recorder()})
 		if err != nil {
 			return nil, err
 		}
 		growth := float64(len(sp.Text))/float64(len(p.Text)) - 1
 		net := simg.CompressedBytes() - img.CompressedBytes()
-		t.AddRow(name,
+		return []string{name,
 			fmt.Sprint(len(p.Text)), fmt.Sprint(len(sp.Text)), pct(growth),
 			fmt.Sprint(img.CompressedBytes()), fmt.Sprint(simg.CompressedBytes()),
-			fmt.Sprintf("%+d", net))
+			fmt.Sprintf("%+d", net)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -438,7 +488,9 @@ func ExtDictPlacement(c *Corpus) (*Table, error) {
 			"one can be loaded from memory — at the cost of extra fetch traffic " +
 			"(hot entries cache well, so the miss-rate gap stays small)",
 	}
-	for _, name := range []string{"compress", "li", "go"} {
+	names := []string{"compress", "li", "go"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		img, err := c.Image(name, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
 		if err != nil {
 			return nil, err
@@ -462,6 +514,7 @@ func ExtDictPlacement(c *Corpus) (*Table, error) {
 				}
 				cpu = m
 			}
+			cpu.Record = c.Recorder()
 			cpu.TraceFetch = ic.Access
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, 0, err
@@ -476,7 +529,10 @@ func ExtDictPlacement(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, fmt.Sprint(bOn), fmt.Sprint(bIn), pct(mOn), pct(mIn))
+		return []string{name, fmt.Sprint(bOn), fmt.Sprint(bIn), pct(mOn), pct(mIn)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -501,7 +557,9 @@ func ExtCycles(c *Corpus) (*Table, error) {
 			"compression improves performance, not just size (§1's Chen97b point)",
 	}
 	t.Columns = []string{"bench", "orig cycles", "comp cycles", "speedup"}
-	for _, name := range []string{"compress", "li", "go", "gcc"} {
+	names := []string{"compress", "li", "go", "gcc"}
+	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
+		name := names[i]
 		p, err := c.Program(name)
 		if err != nil {
 			return nil, err
@@ -519,6 +577,7 @@ func ExtCycles(c *Corpus) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			cpu.Record = c.Recorder()
 			cpu.TraceFetch = ic.Access
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, err
@@ -535,7 +594,10 @@ func ExtCycles(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, fmt.Sprint(co), fmt.Sprint(cc), fmt.Sprintf("%.2fx", float64(co)/float64(cc)))
+		return []string{name, fmt.Sprint(co), fmt.Sprint(cc), fmt.Sprintf("%.2fx", float64(co)/float64(cc))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/ppc"
 	"repro/internal/program"
+	"repro/internal/stats"
 )
 
 // CompressedBase is the base address of compressed text in unit space.
@@ -48,9 +49,19 @@ type Options struct {
 	// fetch traffic at a possible small cost in static size. Length must
 	// equal the program's text length.
 	DynProfile []int64
+
+	// Stats, when non-nil, receives pipeline observability: phase timers
+	// (core.analyze, core.build, core.encode, core.patch) and the
+	// dictionary builder's counters. It never affects the produced image.
+	Stats *stats.Recorder
 }
 
-func (o Options) normalized() Options {
+// Normalized resolves the option defaults: MaxEntryLen 0 becomes the
+// paper's baseline of 4, and MaxEntries 0 (or anything beyond the scheme's
+// codeword space) becomes the scheme maximum. Two Options that normalize
+// equal always produce identical images, which is what cache keys must be
+// computed over.
+func (o Options) Normalized() Options {
 	if o.MaxEntryLen == 0 {
 		o.MaxEntryLen = 4
 	}
@@ -170,7 +181,7 @@ func markers(p *program.Program) (compressible []bool, an *program.Analysis, err
 // preserved — codeword ranks must mean the same thing to every program
 // sharing the dictionary — and the scheme must have room for them all.
 func CompressFixed(p *program.Program, entries []dictionary.Entry, opt Options) (*Image, error) {
-	opt = opt.normalized()
+	opt = opt.Normalized()
 	if len(entries) > opt.Scheme.MaxEntries() {
 		return nil, fmt.Errorf("core: %d entries exceed %v's codeword space", len(entries), opt.Scheme)
 	}
@@ -198,7 +209,7 @@ func CompressFixed(p *program.Program, entries []dictionary.Entry, opt Options) 
 // first) suitable for CompressFixed on each of them — the fleet-wide ROM
 // dictionary deployment.
 func BuildSharedDictionary(programs []*program.Program, opt Options) ([]dictionary.Entry, error) {
-	opt = opt.normalized()
+	opt = opt.Normalized()
 	var text []uint32
 	var compressible, leaders []bool
 	for _, p := range programs {
@@ -228,13 +239,16 @@ func BuildSharedDictionary(programs []*program.Program, opt Options) ([]dictiona
 
 // Compress runs the full pipeline.
 func Compress(p *program.Program, opt Options) (*Image, error) {
-	opt = opt.normalized()
+	opt = opt.Normalized()
 	n := len(p.Text)
+	stopAnalyze := opt.Stats.Time("core.analyze")
 	compressible, an, err := markers(p)
+	stopAnalyze()
 	if err != nil {
 		return nil, err
 	}
 
+	stopBuild := opt.Stats.Time("core.build")
 	res, err := dictionary.Build(p.Text, dictionary.Config{
 		MaxEntries:        opt.MaxEntries,
 		MaxEntryLen:       opt.MaxEntryLen,
@@ -243,7 +257,9 @@ func Compress(p *program.Program, opt Options) (*Image, error) {
 		Compressible:      compressible,
 		Leader:            an.Leader,
 		Strategy:          opt.Strategy,
+		Stats:             opt.Stats,
 	})
+	stopBuild()
 	if err != nil {
 		return nil, err
 	}
@@ -276,14 +292,19 @@ func assemble(p *program.Program, opt Options, res *dictionary.Result, rank rera
 		OriginalBytes:  p.SizeBytes(),
 	}
 
+	stopEncode := opt.Stats.Time("core.encode")
 	lay, err := layout(p, an, res.Items, rank.of, opt.Scheme)
+	if err != nil {
+		stopEncode()
+		return nil, err
+	}
+	err = emit(img, p, res.Items, rank.of, lay)
+	stopEncode()
 	if err != nil {
 		return nil, err
 	}
-	if err := emit(img, p, res.Items, rank.of, lay); err != nil {
-		return nil, err
-	}
 
+	defer opt.Stats.Time("core.patch")()
 	// Patch jump tables to absolute unit addresses in compressed space.
 	jts, err := p.JumpTableTargets()
 	if err != nil {

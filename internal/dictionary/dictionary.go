@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // Config parameterizes one dictionary build.
@@ -49,6 +51,12 @@ type Config struct {
 	// Strategy selects the entry-selection policy; the default is the
 	// paper's greedy algorithm.
 	Strategy Strategy
+
+	// Stats, when non-nil, receives build observability counters:
+	// dict.candidates (sequences enumerated), dict.heap_pops,
+	// dict.reevaluations (stale candidates re-queued with refreshed
+	// savings), dict.entries (entries selected).
+	Stats *stats.Recorder
 }
 
 // Strategy is the dictionary-entry selection policy.
@@ -112,6 +120,7 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 	}
 
 	cands := enumerate(text, cfg)
+	cfg.Stats.Add("dict.candidates", int64(len(cands)))
 	covered := make([]bool, n)
 	res := &Result{}
 	coverEntry := make([]int, n)
@@ -160,6 +169,7 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 		}
 		for h.Len() > 0 && rank < maxEntries {
 			c := heap.Pop(h).(*cand)
+			cfg.Stats.Add("dict.heap_pops", 1)
 			v := value(c, covered, cfg, rank)
 			if v <= 0 {
 				continue // stale and now worthless; drop
@@ -170,6 +180,7 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 				// current it really is the maximum.
 				c.val = v
 				heap.Push(h, c)
+				cfg.Stats.Add("dict.reevaluations", 1)
 				continue
 			}
 			if selectCand(c, rank) {
@@ -195,6 +206,8 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("dictionary: unknown strategy %d", cfg.Strategy)
 	}
+
+	cfg.Stats.Add("dict.entries", int64(rank))
 
 	// Assemble the rewritten item sequence.
 	for i := 0; i < n; i++ {

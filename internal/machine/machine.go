@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ppc"
 	"repro/internal/program"
+	"repro/internal/stats"
 )
 
 // Syscall numbers (passed in r0; sc transfers to the host).
@@ -59,6 +60,11 @@ type CPU struct {
 	// TraceExec, when non-nil, receives every executed instruction with
 	// its fetch address (PC space of the active frontend).
 	TraceExec func(cia uint32, word uint32)
+
+	// Record, when non-nil, receives the execution counters of every Run
+	// (machine.steps, machine.expanded, machine.fetched_bytes — deltas per
+	// Run, so repeated Runs on one CPU accumulate correctly).
+	Record *stats.Recorder
 
 	Stats Stats
 
@@ -108,6 +114,14 @@ func (c *CPU) Exited() (bool, int32) { return c.exited, c.status }
 // the exit status. Exceeding the budget or any architectural fault is an
 // error.
 func (c *CPU) Run(maxSteps int64) (int32, error) {
+	if c.Record != nil {
+		before := c.Stats
+		defer func() {
+			c.Record.Add("machine.steps", c.Stats.Steps-before.Steps)
+			c.Record.Add("machine.expanded", c.Stats.Expanded-before.Expanded)
+			c.Record.Add("machine.fetched_bytes", c.Stats.FetchedBytes-before.FetchedBytes)
+		}()
+	}
 	for c.Stats.Steps < maxSteps {
 		if err := c.Step(); err != nil {
 			return 0, err

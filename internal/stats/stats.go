@@ -1,0 +1,148 @@
+// Package stats is the observability layer of the experiment engine:
+// a concurrency-safe Recorder of named counters and phase timers that the
+// compression pipeline (dictionary build, core phases, machine execution)
+// reports into when a caller threads one through. All hooks are optional —
+// every method is a no-op on a nil *Recorder — so the hot paths carry no
+// cost unless a caller asks for instrumentation.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates counters and phase durations. The zero value is not
+// usable; call New. A nil *Recorder is a valid sink that discards
+// everything.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	phases   map[string]Phase
+}
+
+// Phase is the accumulated timing of one named phase.
+type Phase struct {
+	Count int64 `json:"count"` // completed invocations
+	Nanos int64 `json:"nanos"` // total duration in nanoseconds
+}
+
+// Duration returns the accumulated time.
+func (p Phase) Duration() time.Duration { return time.Duration(p.Nanos) }
+
+// New creates an empty recorder.
+func New() *Recorder {
+	return &Recorder{counters: map[string]int64{}, phases: map[string]Phase{}}
+}
+
+// Add increments the named counter by n.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Observe accumulates one completed invocation of the named phase.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.phases[name]
+	p.Count++
+	p.Nanos += int64(d)
+	r.phases[name] = p
+	r.mu.Unlock()
+}
+
+// Time starts a phase timer and returns the function that stops it:
+//
+//	defer r.Time("core.build")()
+//
+// The returned stop is safe to call on a timer from a nil recorder.
+func (r *Recorder) Time(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { r.Observe(name, time.Since(t0)) }
+}
+
+// Merge folds a snapshot into the recorder (engine totals aggregate
+// per-experiment recorders this way).
+func (r *Recorder) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range s.Counters {
+		r.counters[k] += v
+	}
+	for k, v := range s.Phases {
+		p := r.phases[k]
+		p.Count += v.Count
+		p.Nanos += v.Nanos
+		r.phases[k] = p
+	}
+}
+
+// Snapshot is a point-in-time copy of a recorder, safe to read and
+// serialize while the recorder keeps accumulating.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Phases   map[string]Phase `json:"phases,omitempty"`
+}
+
+// Snapshot copies the current state. A nil recorder yields an empty
+// snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Phases:   make(map[string]Phase, len(r.phases)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.phases {
+		s.Phases[k] = v
+	}
+	return s
+}
+
+// Counter returns one counter's value from the snapshot.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Phase returns one phase's accumulated timing.
+func (s Snapshot) Phase(name string) Phase { return s.Phases[name] }
+
+// Summary renders the snapshot as sorted "name=value" fields — counters
+// first, then phases with millisecond durations — for table footers and
+// log lines.
+func (s Snapshot) Summary() string {
+	fields := make([]string, 0, len(s.Counters)+len(s.Phases))
+	for k, v := range s.Counters {
+		fields = append(fields, fmt.Sprintf("%s=%d", k, v))
+	}
+	for k, v := range s.Phases {
+		fields = append(fields, fmt.Sprintf("%s=%.1fms/%d", k, float64(v.Nanos)/1e6, v.Count))
+	}
+	sort.Strings(fields)
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += " "
+		}
+		out += f
+	}
+	return out
+}

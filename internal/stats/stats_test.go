@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add("x", 1)
+	r.Observe("p", time.Millisecond)
+	r.Time("p")()
+	r.Merge(Snapshot{Counters: map[string]int64{"x": 1}})
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Phases) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", s)
+	}
+}
+
+func TestCountersAndPhases(t *testing.T) {
+	r := New()
+	r.Add("dict.pops", 3)
+	r.Add("dict.pops", 2)
+	r.Observe("core.build", 2*time.Millisecond)
+	r.Observe("core.build", 3*time.Millisecond)
+	s := r.Snapshot()
+	if got := s.Counter("dict.pops"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	p := s.Phase("core.build")
+	if p.Count != 2 || p.Duration() != 5*time.Millisecond {
+		t.Errorf("phase = %+v", p)
+	}
+	// Snapshot is a copy: mutating the recorder afterwards must not change it.
+	r.Add("dict.pops", 100)
+	if s.Counter("dict.pops") != 5 {
+		t.Error("snapshot aliases recorder state")
+	}
+}
+
+func TestMergeAndSummary(t *testing.T) {
+	a, b := New(), New()
+	a.Add("n", 1)
+	a.Observe("p", time.Millisecond)
+	b.Add("n", 2)
+	b.Observe("p", time.Millisecond)
+	a.Merge(b.Snapshot())
+	s := a.Snapshot()
+	if s.Counter("n") != 3 || s.Phase("p").Count != 2 {
+		t.Fatalf("merge: %+v", s)
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "n=3") || !strings.Contains(sum, "p=") {
+		t.Errorf("summary %q", sum)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("c", 1)
+				r.Observe("p", time.Microsecond)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counter("c"); got != 1600 {
+		t.Errorf("counter = %d, want 1600", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Add("c", 7)
+	r.Observe("p", time.Millisecond)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("c") != 7 || back.Phase("p").Nanos != int64(time.Millisecond) {
+		t.Errorf("round trip: %+v", back)
+	}
+}
