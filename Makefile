@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke check bench
+.PHONY: all build vet test race smoke diff check bench bench-json
 
 all: check
 
@@ -22,7 +22,20 @@ race:
 smoke:
 	$(GO) run ./cmd/experiments -run fig5 -parallel 4
 
-check: vet build race smoke
+# Differential gate: the indexed greedy builder must be byte-identical to
+# the reference implementation on all eight synth benchmarks, plus the
+# collision/fuzz seed corpus.
+diff:
+	$(GO) test -run 'MatchesReference|StrategyParity|DegradedHash|FuzzBuildDifferential' ./internal/dictionary
+
+check: vet build diff race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Perf trajectory: dictionary.Build and core.Compress at small/medium/full
+# corpus sizes, recorded as BENCH_dictionary.json (ns/op, B/op, allocs/op).
+bench-json:
+	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
+	@echo wrote BENCH_dictionary.json

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/codeword"
 	"repro/internal/core"
+	"repro/internal/dictionary"
 	"repro/internal/huffman"
 	"repro/internal/lzw"
 	"repro/internal/machine"
@@ -116,6 +117,77 @@ func benchCompress(b *testing.B, name string, scheme Scheme) {
 		last = img
 	}
 	b.ReportMetric(last.Ratio(), "ratio")
+}
+
+// dictSizes are the small/medium/full synth-benchmark sizes the
+// BENCH_dictionary.json trajectory tracks (see `make bench-json`).
+var dictSizes = []struct{ size, bench string }{
+	{"small", "compress"}, // ~3.6k words
+	{"medium", "go"},      // ~16k words
+	{"full", "gcc"},       // ~42k words, the largest synth benchmark
+}
+
+// BenchmarkDictionaryBuild times the greedy analyzer alone — the paper's
+// §3.1 hot path — for both the indexed builder and the reference
+// implementation, at three corpus sizes.
+func BenchmarkDictionaryBuild(b *testing.B) {
+	impls := []struct {
+		name  string
+		strat dictionary.Strategy
+	}{
+		{"indexed", dictionary.Greedy},
+		{"reference", dictionary.GreedyReference},
+	}
+	for _, sz := range dictSizes {
+		for _, im := range impls {
+			b.Run(sz.size+"/"+im.name, func(b *testing.B) {
+				p := benchProgram(b, sz.bench)
+				comp, lead, err := core.Markers(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := dictionary.Config{
+					MaxEntries:        Baseline.MaxEntries(),
+					MaxEntryLen:       4,
+					CodewordBits:      Baseline.CodewordBits,
+					EntryOverheadBits: codeword.EntryOverheadBits,
+					Compressible:      comp,
+					Leader:            lead,
+					Strategy:          im.strat,
+				}
+				b.SetBytes(int64(4 * len(p.Text)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := dictionary.Build(p.Text, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = r
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompressSweep times the full pipeline at the same three sizes,
+// so the trajectory records how much of core.Compress the builder is.
+func BenchmarkCompressSweep(b *testing.B) {
+	for _, sz := range dictSizes {
+		b.Run(sz.size, func(b *testing.B) {
+			p := benchProgram(b, sz.bench)
+			b.SetBytes(int64(p.SizeBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				img, err := core.Compress(p.Clone(), Options{Scheme: Baseline})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = img
+			}
+		})
+	}
 }
 
 func BenchmarkCompressBaselineGcc(b *testing.B) { benchCompress(b, "gcc", Baseline) }

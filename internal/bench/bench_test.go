@@ -193,8 +193,11 @@ func TestPenaltyTrafficWins(t *testing.T) {
 func TestAblationSelectionGreedyWins(t *testing.T) {
 	tab := runExp(t, "ablation-selection")
 	for _, row := range tab.Rows {
-		if d := cell(t, row[3]); d > 0.5 {
+		if d := cell(t, row[4]); d > 0.5 {
 			t.Errorf("%s: greedy worse than static by %vpp", row[0], d)
+		}
+		if row[1] != row[2] {
+			t.Errorf("%s: indexed greedy ratio %s != reference greedy ratio %s", row[0], row[1], row[2])
 		}
 	}
 }

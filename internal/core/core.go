@@ -39,7 +39,9 @@ type Options struct {
 	MaxEntryLen int
 
 	// Strategy selects the dictionary-building policy (ablation hook);
-	// the zero value is the paper's greedy algorithm.
+	// the zero value is the paper's greedy algorithm in its indexed
+	// implementation. dictionary.GreedyReference selects the
+	// rescan-everything oracle, which must produce an identical image.
 	Strategy dictionary.Strategy
 
 	// DynProfile, when non-nil, holds per-original-word execution counts
@@ -174,6 +176,18 @@ func markers(p *program.Program) (compressible []bool, an *program.Analysis, err
 		compressible[i] = !ppc.IsRelativeBranch(w) && !(ppc.IsBranch(w) && ppc.IsCall(w))
 	}
 	return compressible, an, nil
+}
+
+// Markers computes the §3.2.1 compressibility and basic-block leader
+// vectors for a program — the inputs dictionary.Build needs beyond the
+// text itself. Exported for benchmarks and tools that drive the
+// dictionary builder directly.
+func Markers(p *program.Program) (compressible, leader []bool, err error) {
+	comp, an, err := markers(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, an.Leader, nil
 }
 
 // CompressFixed compresses a program against a pre-built dictionary (a

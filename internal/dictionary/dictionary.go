@@ -9,6 +9,14 @@
 // consume its occurrences (and as codewords get longer with rank), a lazy
 // re-evaluation max-heap finds the true maximum each round without
 // rescanning every candidate.
+//
+// Two interchangeable implementations of the greedy policy live here. The
+// default (index.go) interns candidates behind a rolling 64-bit hash and
+// maintains an occurrence index so selections invalidate only the
+// candidates they actually touch; the reference implementation (below)
+// is the direct transcription of the paper's algorithm, kept as the
+// differential oracle — both must produce byte-identical results on every
+// input (enforced by differential and fuzz tests).
 package dictionary
 
 import (
@@ -55,8 +63,18 @@ type Config struct {
 	// Stats, when non-nil, receives build observability counters:
 	// dict.candidates (sequences enumerated), dict.heap_pops,
 	// dict.reevaluations (stale candidates re-queued with refreshed
-	// savings), dict.entries (entries selected).
+	// savings), dict.entries (entries selected), and — from the indexed
+	// builder — dict.invalidations (occurrences killed by coverage),
+	// dict.dirty_skips (heap pops served from an exact cached use count,
+	// no occurrence rescan) and dict.hash_collisions (distinct sequences
+	// sharing a 64-bit enumeration hash). Counter values are
+	// implementation observability; only the Result is contractual.
 	Stats *stats.Recorder
+
+	// degradeHash, set only by tests, collapses the indexed builder's
+	// candidate hash to its low byte so the collision chain is exercised
+	// constantly. It must never change the produced Result.
+	degradeHash bool
 }
 
 // Strategy is the dictionary-entry selection policy.
@@ -65,13 +83,22 @@ type Strategy uint8
 // Selection policies.
 const (
 	// Greedy re-evaluates savings after every selection (the paper's
-	// algorithm, §3.1.1).
+	// algorithm, §3.1.1). Implemented by the indexed builder: hash-keyed
+	// enumeration, incremental invalidation through an occurrence index,
+	// and a dirty-bit lazy heap. Byte-identical to GreedyReference.
 	Greedy Strategy = iota
 
 	// StaticOrder ranks candidates once by their initial savings and
 	// selects in that fixed order — the ablation baseline showing what
 	// greedy's re-evaluation buys.
 	StaticOrder
+
+	// GreedyReference is the direct transcription of the paper's greedy
+	// algorithm (string-keyed enumeration, full occurrence rescans). It
+	// is the differential oracle for Greedy: same output, none of the
+	// indexing. Select it to cross-check the indexed builder or to
+	// measure what the index buys.
+	GreedyReference
 )
 
 // Entry is one selected dictionary entry.
@@ -102,7 +129,7 @@ type Result struct {
 	CoveredInsns int
 }
 
-// Build runs the greedy algorithm over the program text.
+// Build runs the selected algorithm over the program text.
 func Build(text []uint32, cfg Config) (*Result, error) {
 	n := len(text)
 	if len(cfg.Compressible) != n || len(cfg.Leader) != n {
@@ -118,99 +145,123 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 	if maxEntries <= 0 {
 		maxEntries = int(^uint(0) >> 1)
 	}
-
-	cands := enumerate(text, cfg)
-	cfg.Stats.Add("dict.candidates", int64(len(cands)))
-	covered := make([]bool, n)
-	res := &Result{}
-	coverEntry := make([]int, n)
-	for i := range coverEntry {
-		coverEntry[i] = -1
-	}
-
-	// selectCand replaces all non-overlapping free occurrences of c and
-	// records it as the entry with the given rank. It reports whether
-	// anything was replaced.
-	selectCand := func(c *cand, rank int) bool {
-		uses := 0
-		last := -1
-		for _, p := range c.pos {
-			if p < last+1 {
-				continue
-			}
-			if !free(covered, p, c.k) {
-				continue
-			}
-			for j := p; j < p+c.k; j++ {
-				covered[j] = true
-			}
-			coverEntry[p] = rank
-			uses++
-			last = p + c.k - 1
-		}
-		if uses == 0 {
-			return false
-		}
-		res.Entries = append(res.Entries, Entry{Words: c.words, Uses: uses})
-		res.CoveredInsns += uses * c.k
-		return true
-	}
-
-	rank := 0
 	switch cfg.Strategy {
 	case Greedy:
-		h := &candHeap{}
-		heap.Init(h)
-		for _, c := range cands {
-			c.val = value(c, covered, cfg, rank)
-			if c.val > 0 {
-				heap.Push(h, c)
-			}
-		}
-		for h.Len() > 0 && rank < maxEntries {
-			c := heap.Pop(h).(*cand)
-			cfg.Stats.Add("dict.heap_pops", 1)
-			v := value(c, covered, cfg, rank)
-			if v <= 0 {
-				continue // stale and now worthless; drop
-			}
-			if v < c.val {
-				// Stale: re-queue with the refreshed value. Values only
-				// ever decrease, so when a popped candidate's value is
-				// current it really is the maximum.
-				c.val = v
-				heap.Push(h, c)
-				cfg.Stats.Add("dict.reevaluations", 1)
-				continue
-			}
-			if selectCand(c, rank) {
-				rank++
-			}
-		}
+		return buildIndexed(text, cfg, maxEntries), nil
+	case GreedyReference:
+		return buildReference(text, cfg, maxEntries), nil
 	case StaticOrder:
-		for _, c := range cands {
-			c.val = value(c, covered, cfg, 0)
-		}
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].val > cands[j].val })
-		for _, c := range cands {
-			if rank >= maxEntries {
-				break
-			}
-			if value(c, covered, cfg, rank) <= 0 {
-				continue
-			}
-			if selectCand(c, rank) {
-				rank++
-			}
-		}
+		return buildStatic(text, cfg, maxEntries), nil
 	default:
 		return nil, fmt.Errorf("dictionary: unknown strategy %d", cfg.Strategy)
 	}
+}
 
+// buildReference is the paper's greedy algorithm as originally written:
+// every re-evaluation rescans the candidate's full occurrence list against
+// the covered vector.
+func buildReference(text []uint32, cfg Config, maxEntries int) *Result {
+	cands := enumerate(text, cfg)
+	cfg.Stats.Add("dict.candidates", int64(len(cands)))
+	covered := make([]bool, len(text))
+	coverEntry := newCoverEntry(len(text))
+	res := &Result{}
+
+	rank := 0
+	h := &candHeap{}
+	heap.Init(h)
+	for _, c := range cands {
+		c.val = value(c, covered, cfg, rank)
+		if c.val > 0 {
+			heap.Push(h, c)
+		}
+	}
+	for h.Len() > 0 && rank < maxEntries {
+		c := heap.Pop(h).(*cand)
+		cfg.Stats.Add("dict.heap_pops", 1)
+		v := value(c, covered, cfg, rank)
+		if v <= 0 {
+			continue // stale and now worthless; drop
+		}
+		if v < c.val {
+			// Stale: re-queue with the refreshed value. Values only
+			// ever decrease, so when a popped candidate's value is
+			// current it really is the maximum.
+			c.val = v
+			heap.Push(h, c)
+			cfg.Stats.Add("dict.reevaluations", 1)
+			continue
+		}
+		if selectCand(c, rank, covered, coverEntry, res) {
+			rank++
+		}
+	}
 	cfg.Stats.Add("dict.entries", int64(rank))
+	assembleItems(text, covered, coverEntry, res)
+	return res
+}
 
-	// Assemble the rewritten item sequence.
-	for i := 0; i < n; i++ {
+// buildStatic ranks candidates once by initial savings and selects in that
+// fixed order (the ablation baseline).
+func buildStatic(text []uint32, cfg Config, maxEntries int) *Result {
+	cands := enumerate(text, cfg)
+	cfg.Stats.Add("dict.candidates", int64(len(cands)))
+	covered := make([]bool, len(text))
+	coverEntry := newCoverEntry(len(text))
+	res := &Result{}
+
+	for _, c := range cands {
+		c.val = value(c, covered, cfg, 0)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].val > cands[j].val })
+	rank := 0
+	for _, c := range cands {
+		if rank >= maxEntries {
+			break
+		}
+		if value(c, covered, cfg, rank) <= 0 {
+			continue
+		}
+		if selectCand(c, rank, covered, coverEntry, res) {
+			rank++
+		}
+	}
+	cfg.Stats.Add("dict.entries", int64(rank))
+	assembleItems(text, covered, coverEntry, res)
+	return res
+}
+
+// selectCand replaces all non-overlapping free occurrences of c and
+// records it as the entry with the given rank. It reports whether anything
+// was replaced.
+func selectCand(c *cand, rank int, covered []bool, coverEntry []int, res *Result) bool {
+	uses := occScan(c, covered, func(p int) {
+		for j := p; j < p+c.k; j++ {
+			covered[j] = true
+		}
+		coverEntry[p] = rank
+	})
+	if uses == 0 {
+		return false
+	}
+	res.Entries = append(res.Entries, Entry{Words: c.words, Uses: uses})
+	res.CoveredInsns += uses * c.k
+	return true
+}
+
+// newCoverEntry allocates the word→entry-rank vector (-1 = uncovered).
+func newCoverEntry(n int) []int {
+	ce := make([]int, n)
+	for i := range ce {
+		ce[i] = -1
+	}
+	return ce
+}
+
+// assembleItems builds the rewritten item sequence from the coverage
+// vectors; shared by every builder so they can only differ in selection.
+func assembleItems(text []uint32, covered []bool, coverEntry []int, res *Result) {
+	for i := range text {
 		if e := coverEntry[i]; e >= 0 {
 			res.Items = append(res.Items, Item{IsCodeword: true, Entry: e, OrigIdx: i})
 			continue
@@ -220,16 +271,14 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 		}
 		res.Items = append(res.Items, Item{Word: text[i], OrigIdx: i})
 	}
-	return res, nil
 }
 
-// cand is one candidate sequence.
+// cand is one candidate sequence of the reference builder.
 type cand struct {
 	words  []uint32
 	k      int    // sequence length in instructions
 	pos    []int  // sorted occurrence start indices
 	val    int    // cached savings in bits
-	idx    int    // heap index
 	key    string // byte key, for deterministic ordering
 	serial int    // tie-break rank
 }
@@ -289,10 +338,14 @@ func free(covered []bool, p, k int) bool {
 	return true
 }
 
-// value computes the candidate's current savings in bits: each replaced
-// occurrence trades 32·k instruction bits for one codeword, and the
-// dictionary must store the sequence once plus serialization overhead.
-func value(c *cand, covered []bool, cfg Config, rank int) int {
+// occScan is the reference builder's single occurrence walk, shared by
+// value (count mode, nil commit) and selectCand (commit mode): visit the
+// sorted occurrence list, skip starts overlapping an occurrence already
+// accepted in this scan, skip starts touching covered words, accept the
+// rest. The two modes cannot drift apart because committing only covers
+// words at or before `last`, which later occurrences are already barred
+// from by the overlap check.
+func occScan(c *cand, covered []bool, commit func(p int)) int {
 	uses := 0
 	last := -1
 	for _, p := range c.pos {
@@ -302,14 +355,29 @@ func value(c *cand, covered []bool, cfg Config, rank int) int {
 		if !free(covered, p, c.k) {
 			continue
 		}
+		if commit != nil {
+			commit(p)
+		}
 		uses++
 		last = p + c.k - 1
 	}
+	return uses
+}
+
+// value computes the candidate's current savings in bits.
+func value(c *cand, covered []bool, cfg Config, rank int) int {
+	return savings(occScan(c, covered, nil), c.k, cfg, rank)
+}
+
+// savings is the paper's §3.1 objective: each replaced occurrence trades
+// 32·k instruction bits for one codeword, and the dictionary must store
+// the sequence once plus serialization overhead.
+func savings(uses, k int, cfg Config, rank int) int {
 	if uses == 0 {
 		return 0
 	}
 	cw := cfg.CodewordBits(rank)
-	return uses*(32*c.k-cw) - (32*c.k + cfg.EntryOverheadBits)
+	return uses*(32*k-cw) - (32*k + cfg.EntryOverheadBits)
 }
 
 // candHeap is a max-heap over cached savings.
@@ -322,8 +390,8 @@ func (h candHeap) Less(i, j int) bool {
 	}
 	return h[i].serial < h[j].serial
 }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
-func (h *candHeap) Push(x interface{}) { c := x.(*cand); c.idx = len(*h); *h = append(*h, c) }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(*cand)) }
 func (h *candHeap) Pop() interface{} {
 	old := *h
 	n := len(old)

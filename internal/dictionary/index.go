@@ -1,0 +1,451 @@
+// The indexed greedy builder: the default implementation of the paper's
+// §3.1 algorithm, rebuilt around an occurrence index so selection is
+// incremental instead of rescan-everything.
+//
+// Three mechanisms replace the reference builder's hot spots:
+//
+//  1. Enumeration interns candidates behind a rolling 64-bit FNV-1a hash
+//     of the big-endian instruction words — no per-(position,length)
+//     string key is ever allocated. Hash buckets chain and compare the
+//     actual words, so a 64-bit collision can never merge two distinct
+//     sequences (dict.hash_collisions counts them).
+//
+//  2. A start-position → occurrences inverted index makes invalidation
+//     exact: the moment a selection covers a word range, every candidate
+//     occurrence overlapping that range is tombstoned and its candidate
+//     marked dirty. Coverage is therefore fully encoded in the occurrence
+//     lists themselves — a live occurrence is free by construction — so
+//     re-valuing a candidate never walks covered words at all.
+//
+//  3. Each candidate carries its live-occurrence count and a cached
+//     greedy use count that stays exact while the candidate is clean.
+//     A heap pop of a clean candidate recomputes savings from the cached
+//     uses in O(1) (dict.dirty_skips); only dirty candidates rescan their
+//     occurrence list, and that rescan compacts tombstones out so dead
+//     occurrences are skipped once and never revisited — the "next free
+//     position" role the covered-word walk played in the reference.
+//
+// The heap discipline is unchanged from the reference: cached savings are
+// upper bounds (uses only shrink, CodewordBits is non-decreasing in rank),
+// so a popped candidate whose exact value matches its cached key is the
+// true maximum of the round, with ties broken by the same deterministic
+// serial order (word-lexicographic, identical to the reference's
+// big-endian byte-key sort). Both builders must produce byte-identical
+// Results on every input; differential and fuzz tests enforce it.
+package dictionary
+
+import (
+	"container/heap"
+	"math"
+)
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// rollHash folds one big-endian instruction word into the rolling
+// candidate hash — byte-for-byte the FNV-1a hash of the reference
+// builder's string key, with zero allocation.
+func rollHash(h uint64, w uint32) uint64 {
+	h = (h ^ uint64(w>>24)) * fnvPrime64
+	h = (h ^ uint64(w>>16&0xff)) * fnvPrime64
+	h = (h ^ uint64(w>>8&0xff)) * fnvPrime64
+	h = (h ^ uint64(w&0xff)) * fnvPrime64
+	return h
+}
+
+// icand is one interned candidate of the indexed builder.
+type icand struct {
+	words  []uint32
+	k      int32
+	serial int32   // deterministic tie-break rank (word-lexicographic)
+	pos    []int32 // sorted occurrence starts; -1 tombstones dead ones
+	from   int32   // scans start here: index of the first live occurrence
+	live   int32   // occurrences not yet tombstoned
+	uses   int32   // cached greedy non-overlap count; exact while !dirty
+	val    int     // heap key: savings computed from uses at a past rank
+	dirty  bool    // an occurrence died since uses was computed
+	dead   bool    // worthless, fully covered, or already selected
+	next   *icand  // hash-bucket collision chain
+}
+
+// occRef locates one occurrence inside its candidate's position list.
+type occRef struct {
+	c   *icand
+	idx int32
+}
+
+// index is the enumeration result plus the inverted occurrence index.
+type index struct {
+	cands  []*icand // creation order during enumeration, then re-sorted to serial order
+	occ    []occRef // occurrence refs grouped by start position
+	occOff []int32  // start position → occ[occOff[p]:occOff[p+1]]
+	maxLen int
+
+	invalidations int64
+	collisions    int64
+
+	// Allocation arenas. Candidates are numerous and tiny, so each gets
+	// carved out of a fixed-capacity chunk instead of its own heap object:
+	// the icand record itself, its interned words, and an initial
+	// posArenaCap-slot occurrence list (longer lists spill to the heap via
+	// ordinary append). Chunks are never grown in place — when one fills, a
+	// fresh chunk is started — so pointers and sub-slices handed out earlier
+	// stay valid for the life of the build.
+	candSlab  []icand
+	wordArena []uint32
+	posArena  []int32
+}
+
+const (
+	candSlabCap  = 1024
+	wordArenaCap = 4096
+	posArenaCap  = 4 // initial pos capacity per candidate
+)
+
+// buildIndexed runs the indexed greedy algorithm. Output is byte-identical
+// to buildReference.
+func buildIndexed(text []uint32, cfg Config, maxEntries int) *Result {
+	n := len(text)
+	if n >= math.MaxInt32 {
+		// Occurrence starts are int32; nothing real comes within two
+		// orders of magnitude of this.
+		return buildReference(text, cfg, maxEntries)
+	}
+	ix := newIndex(text, cfg)
+	cfg.Stats.Add("dict.candidates", int64(len(ix.cands)))
+	cfg.Stats.Add("dict.hash_collisions", ix.collisions)
+
+	covered := make([]bool, n)
+	coverEntry := newCoverEntry(n)
+	res := &Result{}
+
+	rank := 0
+	var pops, reevals, dirtySkips int64
+	h := make(icandHeap, 0, len(ix.cands))
+	for _, c := range ix.cands {
+		c.uses = initialUses(c)
+		c.val = savings(int(c.uses), int(c.k), cfg, rank)
+		if c.val > 0 {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 && rank < maxEntries {
+		c := heap.Pop(&h).(*icand)
+		pops++
+		if c.dead {
+			continue
+		}
+		if c.dirty {
+			rescan(c)
+		} else {
+			dirtySkips++
+		}
+		v := savings(int(c.uses), int(c.k), cfg, rank)
+		if v <= 0 {
+			c.dead = true
+			continue
+		}
+		if v < c.val {
+			c.val = v
+			heap.Push(&h, c)
+			reevals++
+			continue
+		}
+		ix.commit(c, rank, covered, coverEntry, res)
+		c.dead = true
+		rank++
+	}
+	cfg.Stats.Add("dict.heap_pops", pops)
+	cfg.Stats.Add("dict.reevaluations", reevals)
+	cfg.Stats.Add("dict.dirty_skips", dirtySkips)
+	cfg.Stats.Add("dict.invalidations", ix.invalidations)
+	cfg.Stats.Add("dict.entries", int64(rank))
+	assembleItems(text, covered, coverEntry, res)
+	return res
+}
+
+// newIndex enumerates every compressible in-block sequence of length
+// 1..MaxEntryLen, interning candidates by rolling hash, and records the
+// inverted start-position index used for incremental invalidation.
+func newIndex(text []uint32, cfg Config) *index {
+	n := len(text)
+	ix := &index{
+		maxLen: cfg.MaxEntryLen,
+		occ:    make([]occRef, 0, 2*n),
+		occOff: make([]int32, n+1),
+	}
+	hashMask := ^uint64(0)
+	if cfg.degradeHash {
+		hashMask = 0xff
+	}
+	byHash := make(map[uint64]*icand, n)
+	for i := 0; i < n; i++ {
+		ix.occOff[i] = int32(len(ix.occ))
+		if !cfg.Compressible[i] {
+			continue
+		}
+		h := fnvOffset64
+		for k := 1; k <= ix.maxLen && i+k <= n; k++ {
+			j := i + k - 1
+			if !cfg.Compressible[j] {
+				break
+			}
+			if k > 1 && cfg.Leader[j] {
+				break // would span into the next basic block
+			}
+			h = rollHash(h, text[j])
+			c := ix.intern(byHash, h&hashMask, text[i:i+k])
+			c.pos = append(c.pos, int32(i))
+			ix.occ = append(ix.occ, occRef{c: c, idx: int32(len(c.pos) - 1)})
+		}
+	}
+	ix.occOff[n] = int32(len(ix.occ))
+	for _, c := range ix.cands {
+		c.live = int32(len(c.pos))
+	}
+	// Deterministic serials matching the reference builder exactly: a
+	// word-lexicographic compare (shorter prefix first) orders candidates
+	// identically to sorting their big-endian byte keys.
+	sortCandsByWords(ix.cands)
+	for s, c := range ix.cands {
+		c.serial = int32(s)
+	}
+	return ix
+}
+
+// intern returns the candidate for seq, creating it on first sight.
+// Buckets are keyed by the full 64-bit hash; the chain compare of the
+// actual words makes collisions harmless (merely counted).
+func (ix *index) intern(byHash map[uint64]*icand, h uint64, seq []uint32) *icand {
+	head := byHash[h]
+	for c := head; c != nil; c = c.next {
+		if int(c.k) == len(seq) && equalWords(c.words, seq) {
+			return c
+		}
+	}
+	c := ix.newCand(seq)
+	c.next = head
+	if head != nil {
+		ix.collisions++
+	}
+	byHash[h] = c
+	ix.cands = append(ix.cands, c)
+	return c
+}
+
+// newCand carves a candidate record, its interned words, and an initial
+// occurrence-list reservation out of the index arenas.
+func (ix *index) newCand(seq []uint32) *icand {
+	if len(ix.candSlab) == cap(ix.candSlab) {
+		ix.candSlab = make([]icand, 0, candSlabCap)
+	}
+	ix.candSlab = append(ix.candSlab, icand{k: int32(len(seq))})
+	c := &ix.candSlab[len(ix.candSlab)-1]
+
+	if cap(ix.wordArena)-len(ix.wordArena) < len(seq) {
+		ix.wordArena = make([]uint32, 0, wordArenaCap)
+	}
+	w := len(ix.wordArena)
+	ix.wordArena = append(ix.wordArena, seq...)
+	c.words = ix.wordArena[w:len(ix.wordArena):len(ix.wordArena)]
+
+	if cap(ix.posArena)-len(ix.posArena) < posArenaCap {
+		ix.posArena = make([]int32, 0, posArenaCap*candSlabCap)
+	}
+	p := len(ix.posArena)
+	c.pos = ix.posArena[p : p : p+posArenaCap]
+	ix.posArena = ix.posArena[:p+posArenaCap]
+	return c
+}
+
+// initialUses is the greedy non-overlap count before anything is covered.
+func initialUses(c *icand) int32 {
+	var uses int32
+	last := int32(-1)
+	for _, p := range c.pos {
+		if p <= last {
+			continue
+		}
+		uses++
+		last = p + c.k - 1
+	}
+	return uses
+}
+
+// rescan recomputes the cached use count of a dirty candidate. Tombstones
+// stay in place — the inverted index holds stable positions into pos — but
+// the skip pointer advances past the leading dead run so repeated rescans
+// of a mostly-consumed candidate start at its first live occurrence
+// instead of re-walking covered territory. Every live occurrence is free
+// by construction: cover tombstones all occurrences overlapping a range at
+// the moment the range is covered.
+func rescan(c *icand) {
+	var uses int32
+	last := int32(-1)
+	from := c.from
+	atFront := true
+	for i := int(c.from); i < len(c.pos); i++ {
+		p := c.pos[i]
+		if p < 0 {
+			if atFront {
+				from = int32(i) + 1
+			}
+			continue
+		}
+		atFront = false
+		if p <= last {
+			continue
+		}
+		uses++
+		last = p + c.k - 1
+	}
+	c.from = from
+	c.uses = uses
+	c.dirty = false
+}
+
+// commit records c as the entry with the given rank, covering each
+// accepted occurrence and invalidating — through the inverted index —
+// exactly the occurrences that overlap the newly covered words.
+func (ix *index) commit(c *icand, rank int, covered []bool, coverEntry []int, res *Result) {
+	uses := 0
+	last := int32(-1)
+	k := int(c.k)
+	for i := int(c.from); i < len(c.pos); i++ {
+		p := c.pos[i]
+		if p < 0 || p <= last { // tombstoned (possibly by an earlier cover in this loop) or overlapping
+			continue
+		}
+		ix.cover(int(p), k, covered)
+		coverEntry[p] = rank
+		uses++
+		last = p + c.k - 1
+	}
+	res.Entries = append(res.Entries, Entry{Words: c.words, Uses: uses})
+	res.CoveredInsns += uses * k
+}
+
+// cover marks words p..p+k-1 covered and tombstones every candidate
+// occurrence overlapping that range: an occurrence starting at j with
+// length kc overlaps iff j < p+k and j+kc > p, so only starts in
+// [p-maxLen+1, p+k) need visiting.
+func (ix *index) cover(p, k int, covered []bool) {
+	for j := p; j < p+k; j++ {
+		covered[j] = true
+	}
+	lo := p - ix.maxLen + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j < p+k; j++ {
+		for _, r := range ix.occ[ix.occOff[j]:ix.occOff[j+1]] {
+			c := r.c
+			if c.pos[r.idx] < 0 {
+				continue // already dead
+			}
+			if j < p && int(c.k) <= p-j {
+				continue // ends before the covered range
+			}
+			c.pos[r.idx] = -1
+			c.live--
+			c.dirty = true
+			if c.live == 0 {
+				c.dead = true
+			}
+			ix.invalidations++
+		}
+	}
+}
+
+// equalWords reports a == b elementwise.
+func equalWords(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lessWords is the word-lexicographic order (shorter prefix first) —
+// identical to comparing the sequences' big-endian byte strings.
+func lessWords(a, b []uint32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortCandsByWords sorts candidates word-lexicographically. Keys are
+// unique, so any comparison sort yields the same total order; this is a
+// bespoke merge sort to avoid sort.Slice's interface overhead on the
+// builder's one O(m log m) step.
+func sortCandsByWords(cands []*icand) {
+	if len(cands) < 2 {
+		return
+	}
+	buf := make([]*icand, len(cands))
+	mergeSortCands(cands, buf)
+}
+
+func mergeSortCands(s, buf []*icand) {
+	if len(s) < 2 {
+		return
+	}
+	m := len(s) / 2
+	mergeSortCands(s[:m], buf[:m])
+	mergeSortCands(s[m:], buf[m:])
+	copy(buf, s)
+	i, j := 0, m
+	for k := range s {
+		switch {
+		case i >= m:
+			s[k] = buf[j]
+			j++
+		case j >= len(s):
+			s[k] = buf[i]
+			i++
+		case lessWords(buf[j].words, buf[i].words):
+			s[k] = buf[j]
+			j++
+		default:
+			s[k] = buf[i]
+			i++
+		}
+	}
+}
+
+// icandHeap is a max-heap over cached savings, serial ascending on ties —
+// the same discipline as the reference builder's heap.
+type icandHeap []*icand
+
+func (h icandHeap) Len() int { return len(h) }
+func (h icandHeap) Less(i, j int) bool {
+	if h[i].val != h[j].val {
+		return h[i].val > h[j].val
+	}
+	return h[i].serial < h[j].serial
+}
+func (h icandHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *icandHeap) Push(x interface{}) { *h = append(*h, x.(*icand)) }
+func (h *icandHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
