@@ -5,11 +5,14 @@
 //
 //	ccrun prog.ppx
 //	ccrun -steps 1e8 -cache 1024 prog.ppz
+//	ccrun -cache 1024 -profile run.json prog.ppz   # JSON execution profile
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,12 +21,15 @@ import (
 	"repro/internal/machine"
 	"repro/internal/objfile"
 	"repro/internal/ppc"
+	"repro/internal/stats"
 )
 
 func main() {
 	maxSteps := flag.Int64("steps", 200_000_000, "step budget")
 	cacheSize := flag.Int("cache", 0, "simulate an I-cache of this many bytes (direct-mapped, 32B lines)")
 	trace := flag.Int("trace", 0, "print the first N executed instructions to stderr")
+	profile := flag.String("profile", "", "write a JSON execution profile (hot dictionary entries, expansion histogram, cache miss curve) to this path; \"-\" means stdout")
+	sample := flag.Int64("sample", 4096, "with -profile and -cache, record a cache miss-curve point every N line accesses")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -38,9 +44,10 @@ func main() {
 	defer f.Close()
 
 	var cpu *machine.CPU
+	var img *core.Image
 	switch {
 	case strings.HasSuffix(path, ".ppz"):
-		img, err := objfile.ReadImage(f)
+		img, err = objfile.ReadImage(f)
 		if err != nil {
 			fatal(err)
 		}
@@ -59,13 +66,30 @@ func main() {
 		}
 	}
 
+	var rec *stats.Recorder
+	if *profile != "" {
+		rec = stats.New()
+		cpu.Record = rec
+		if img != nil {
+			cpu.EnableHeat(len(img.Entries))
+		}
+	}
+
 	var ic *cache.Cache
+	var smp *cache.Sampler
 	if *cacheSize > 0 {
 		ic, err = cache.New(cache.Config{SizeBytes: *cacheSize, LineBytes: 32, Assoc: 1})
 		if err != nil {
 			fatal(err)
 		}
 		cpu.TraceFetch = ic.Access
+		if *profile != "" {
+			smp, err = cache.NewSampler(ic, *sample)
+			if err != nil {
+				fatal(err)
+			}
+			cpu.TraceFetch = smp.Access
+		}
 	}
 
 	if *trace > 0 {
@@ -92,6 +116,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "icache: %d accesses, %d misses (%.2f%%)\n",
 			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
 	}
+
+	if *profile != "" {
+		var curve []cache.SamplePoint
+		if smp != nil {
+			curve = smp.Points
+		}
+		prof := core.CollectRunProfile(img, cpu, rec.Snapshot(), ic, curve)
+		if prof.Name == "" {
+			prof.Name = path
+		}
+		if err := writeProfile(*profile, prof); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeProfile emits the profile as indented JSON; "-" selects stdout.
+func writeProfile(path string, prof core.RunProfile) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(prof)
 }
 
 func fatal(err error) {

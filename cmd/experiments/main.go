@@ -9,6 +9,8 @@
 //	experiments -json            # machine-readable report with per-phase stats
 //	experiments -timeout 2m      # cancel the run after a deadline
 //	experiments -list            # list experiment ids
+//	experiments -trace out.json  # write a Chrome trace-event file of the run
+//	experiments -pprof :6060     # serve net/http/pprof + live counters
 //
 // Output is deterministic at every -parallel setting. The process exits
 // non-zero if any experiment fails.
@@ -17,8 +19,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -26,6 +31,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // jsonExperiment is one experiment in the -json report.
@@ -56,6 +62,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "bound on concurrently executing work (runners and their rows); 1 = sequential")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	showStats := flag.Bool("stats", false, "print each experiment's counter/phase summary after its table")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in chrome://tracing or Perfetto)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the live stats snapshot (expvar \"stats\") on this address, e.g. :6060")
 	flag.Parse()
 
 	if *list {
@@ -82,13 +90,35 @@ func main() {
 	}
 
 	totals := stats.New()
+	if *pprofAddr != "" {
+		// The expvar page exposes the run's live totals alongside the
+		// standard pprof endpoints.
+		expvar.Publish("stats", expvar.Func(func() any { return totals.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+	}
 	engine := bench.NewEngine(bench.NewCorpus(), bench.EngineOptions{
 		Parallel: *parallel,
 		Recorder: totals,
+		Tracer:   tracer,
 	})
 	t0 := time.Now()
 	results, runErr := engine.RunIDs(ctx, ids)
 	wall := time.Since(t0)
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d spans to %s\n", tracer.Len(), *traceOut)
+	}
 	if results == nil { // id resolution failed before anything ran
 		fmt.Fprintf(os.Stderr, "experiments: %v; use -list\n", runErr)
 		os.Exit(2)
@@ -103,6 +133,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the collected spans as a Chrome trace-event file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func emitText(results []bench.Result, csv, showStats bool) {

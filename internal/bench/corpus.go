@@ -19,6 +19,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // flight is one singleflight cache slot: the first requester computes the
@@ -57,6 +58,7 @@ type Corpus struct {
 	ctx context.Context
 	sem chan struct{} // bounded worker pool; nil means sequential rows
 	rec *stats.Recorder
+	sp  *trace.Span // parent span for work done through this view
 }
 
 // imageKey captures the cacheable compression parameters. Profile-guided
@@ -97,7 +99,16 @@ func NewCorpus() *Corpus {
 // (receives corpus, pipeline and machine counters). Any argument may be
 // nil.
 func (c *Corpus) Bound(ctx context.Context, sem chan struct{}, rec *stats.Recorder) *Corpus {
-	return &Corpus{state: c.state, ctx: ctx, sem: sem, rec: rec}
+	return &Corpus{state: c.state, ctx: ctx, sem: sem, rec: rec, sp: c.sp}
+}
+
+// WithSpan returns a view whose corpus work (generations, compressions,
+// rows) emits child spans under sp. A nil span disables tracing for the
+// view.
+func (c *Corpus) WithSpan(sp *trace.Span) *Corpus {
+	v := *c
+	v.sp = sp
+	return &v
 }
 
 // Recorder returns the view's stats recorder (nil on an unbound corpus —
@@ -162,7 +173,9 @@ func (c *Corpus) Program(name string) (*program.Program, error) {
 	st.mu.Unlock()
 
 	stop := c.rec.Time("corpus.generate")
+	sp := c.sp.Child("corpus.generate").Set("bench", name)
 	f.val, f.err = synth.Generate(name)
+	sp.End()
 	stop()
 	c.rec.Add("corpus.generations", 1)
 	close(f.done)
@@ -206,9 +219,12 @@ func (c *Corpus) compress(name string, opt core.Options) (*core.Image, error) {
 		return nil, err
 	}
 	opt.Stats = c.rec
+	sp := c.sp.Child("corpus.compress").Set("bench", name).Set("scheme", opt.Scheme.String())
+	opt.Trace = sp
 	stop := c.rec.Time("corpus.compress")
 	img, err := core.Compress(p.Clone(), opt)
 	stop()
+	sp.End()
 	c.rec.Add("corpus.compressions", 1)
 	if err != nil {
 		return nil, fmt.Errorf("bench: compressing %s: %w", name, err)
@@ -227,12 +243,18 @@ func (c *Corpus) each(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
+	// run wraps one unit of work in a row span attributing it to the pool
+	// worker that executed it (0 = the calling goroutine, 1.. = helpers).
+	run := fn
+	if c.sp != nil {
+		run = func(i int) error { return c.tracedItem(i, 0, fn) }
+	}
 	if c.sem == nil || cap(c.sem) <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := c.err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -261,7 +283,7 @@ func (c *Corpus) each(n int, fn func(i int) error) error {
 		}
 		mu.Unlock()
 	}
-	work := func() {
+	work := func(worker int) {
 		for {
 			if err := c.err(); err != nil {
 				fail(err)
@@ -271,7 +293,13 @@ func (c *Corpus) each(n int, fn func(i int) error) error {
 			if !ok {
 				return
 			}
-			if err := fn(i); err != nil {
+			var err error
+			if c.sp != nil {
+				err = c.tracedItem(i, worker, fn)
+			} else {
+				err = fn(i)
+			}
+			if err != nil {
 				fail(err)
 			}
 		}
@@ -288,25 +316,35 @@ func (c *Corpus) each(n int, fn func(i int) error) error {
 		ctxDone = c.ctx.Done()
 	}
 	for h := 0; h < helpers; h++ {
+		h := h
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			select {
 			case c.sem <- struct{}{}:
 				defer func() { <-c.sem }()
-				work()
+				work(h + 1)
 			case <-done:
 			case <-ctxDone:
 			}
 		}()
 	}
-	work() // caller participates on its own pool slot
+	work(0) // caller participates on its own pool slot
 	close(done)
 	wg.Wait()
 
 	mu.Lock()
 	defer mu.Unlock()
 	return firstErr
+}
+
+// tracedItem runs one unit of pool work under a row span carrying the
+// item index and the executing worker.
+func (c *Corpus) tracedItem(i, worker int, fn func(i int) error) error {
+	sp := c.sp.Child("row").SetInt("row", int64(i)).SetInt("worker", int64(worker))
+	err := fn(i)
+	sp.End()
+	return err
 }
 
 // rowsInOrder builds n table rows concurrently on the corpus's pool and

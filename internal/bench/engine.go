@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // EngineOptions configures a parallel experiment run.
@@ -21,6 +22,11 @@ type EngineOptions struct {
 	// per-run recorder (for a whole-run report). Each Result additionally
 	// carries its own per-experiment snapshot.
 	Recorder *stats.Recorder
+
+	// Tracer, when non-nil, collects one span tree per experiment
+	// (experiment:<id> at the root; corpus, pipeline and row spans below)
+	// for Chrome trace-event export. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Result is one experiment's outcome.
@@ -90,10 +96,13 @@ launch:
 			defer wg.Done()
 			defer func() { <-sem }()
 			rec := stats.New()
-			view := e.corpus.Bound(ctx, sem, rec)
+			sp := e.opt.Tracer.Root("experiment:"+r.ID).
+				Set("id", r.ID).Set("title", r.Title).SetInt("slot", int64(i))
+			view := e.corpus.Bound(ctx, sem, rec).WithSpan(sp)
 			stop := rec.Time("experiment.wall")
 			tab, err := r.Run(view)
 			stop()
+			sp.End()
 			snap := rec.Snapshot()
 			results[i] = Result{
 				ID:    r.ID,

@@ -538,8 +538,7 @@ func missRate(c *Corpus, size int, run func(*cache.Cache) error) (float64, error
 	if err := run(cc); err != nil {
 		return 0, err
 	}
-	c.Recorder().Add("cache.accesses", cc.Stats.Accesses)
-	c.Recorder().Add("cache.misses", cc.Stats.Misses)
+	cc.Report(c.Recorder())
 	return cc.Stats.MissRate(), nil
 }
 

@@ -250,6 +250,7 @@ func ExtRefill(c *Corpus) (*Table, error) {
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, err
 			}
+			ic.Report(c.Recorder())
 			return ic.Stats.Misses * lineBytes, nil
 		}
 		orig, err := lineTraffic(func() (*machineCPU, error) { return newNative(p) })
@@ -519,6 +520,7 @@ func ExtDictPlacement(c *Corpus) (*Table, error) {
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, 0, err
 			}
+			ic.Report(c.Recorder())
 			return cpu.Stats.FetchedBytes, ic.Stats.MissRate(), nil
 		}
 		bOn, mOn, err := run(false)
@@ -582,6 +584,7 @@ func ExtCycles(c *Corpus) (*Table, error) {
 			if _, err := cpu.Run(200_000_000); err != nil {
 				return 0, err
 			}
+			ic.Report(c.Recorder())
 			return cpu.Stats.Steps +
 				model.DecodePenalty*cpu.Stats.Expanded +
 				model.MissPenalty*ic.Stats.Misses, nil

@@ -4,7 +4,11 @@
 // (§1, §5; [Chen97a]): denser code means fewer instruction-cache misses.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // Config sizes the cache.
 type Config struct {
@@ -18,6 +22,9 @@ type Stats struct {
 	Accesses int64
 	Misses   int64
 }
+
+// Hits is the number of accesses served without a refill.
+func (s Stats) Hits() int64 { return s.Accesses - s.Misses }
 
 // MissRate is misses per access.
 func (s Stats) MissRate() float64 {
@@ -122,4 +129,53 @@ func (c *Cache) Reset() {
 	}
 	c.clock = 0
 	c.Stats = Stats{}
+}
+
+// Report adds the cache's totals to the recorder as the cache.accesses,
+// cache.hits and cache.misses counters, making the I-cache model visible
+// in stats output. Nil-safe on the recorder side.
+func (c *Cache) Report(r *stats.Recorder) {
+	r.Add("cache.accesses", c.Stats.Accesses)
+	r.Add("cache.hits", c.Stats.Hits())
+	r.Add("cache.misses", c.Stats.Misses)
+}
+
+// SamplePoint is one point of a cache hit/miss time series: the
+// cumulative statistics after Access line accesses.
+type SamplePoint struct {
+	Access int64 `json:"access"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Sampler wraps a cache's Access as a machine TraceFetch hook and records
+// the cumulative hit/miss curve every Every line accesses — the data
+// behind a miss-rate-over-time plot.
+type Sampler struct {
+	Cache  *Cache
+	Every  int64
+	Points []SamplePoint
+
+	last int64 // accesses at the previous sample
+}
+
+// NewSampler wraps the cache; every must be positive.
+func NewSampler(c *Cache, every int64) (*Sampler, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("cache: sample interval %d not positive", every)
+	}
+	return &Sampler{Cache: c, Every: every}, nil
+}
+
+// Access forwards to the cache and samples the running totals. One call
+// may touch several lines, so sampling triggers on crossing the interval
+// rather than equality.
+func (s *Sampler) Access(addr uint32, nbytes int) {
+	s.Cache.Access(addr, nbytes)
+	if st := s.Cache.Stats; st.Accesses-s.last >= s.Every {
+		s.last = st.Accesses
+		s.Points = append(s.Points, SamplePoint{
+			Access: st.Accesses, Hits: st.Hits(), Misses: st.Misses,
+		})
+	}
 }

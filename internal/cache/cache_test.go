@@ -1,6 +1,10 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
 
 func mk(t *testing.T, size, line, assoc int) *Cache {
 	t.Helper()
@@ -176,5 +180,58 @@ func TestZeroByteAccessIgnored(t *testing.T) {
 	c.Access(0, 0)
 	if c.Stats.Accesses != 0 {
 		t.Fatal("zero-byte access counted")
+	}
+}
+
+func TestReportCounters(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	c.Access(0, 4)  // miss
+	c.Access(0, 4)  // hit
+	c.Access(32, 4) // miss
+	rec := stats.New()
+	c.Report(rec)
+	s := rec.Snapshot()
+	if s.Counter("cache.accesses") != 3 || s.Counter("cache.hits") != 1 || s.Counter("cache.misses") != 2 {
+		t.Fatalf("counters: %s", s.Summary())
+	}
+	c.Report(nil) // nil recorder must be a safe sink
+}
+
+func TestSampler(t *testing.T) {
+	c := mk(t, 1024, 32, 1)
+	s, err := NewSampler(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSampler(c, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	for i := 0; i < 10; i++ {
+		s.Access(uint32(i*32), 4) // every access a distinct line: all misses
+	}
+	if c.Stats.Accesses != 10 || c.Stats.Misses != 10 {
+		t.Fatalf("cache stats: %+v", c.Stats)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	for i, p := range s.Points {
+		if p.Access != int64(4*(i+1)) || p.Misses != p.Access || p.Hits != 0 {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+	}
+}
+
+func TestSamplerCrossingInterval(t *testing.T) {
+	// A single Access spanning many lines must still produce a sample once
+	// the cumulative count crosses the interval.
+	c := mk(t, 1024, 32, 1)
+	s, err := NewSampler(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, 7*32) // touches 7 or 8 lines in one call
+	if len(s.Points) != 1 {
+		t.Fatalf("points: %+v", s.Points)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ppc"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // CompressedBase is the base address of compressed text in unit space.
@@ -54,8 +55,15 @@ type Options struct {
 
 	// Stats, when non-nil, receives pipeline observability: phase timers
 	// (core.analyze, core.build, core.encode, core.patch) and the
-	// dictionary builder's counters. It never affects the produced image.
+	// dictionary builder's counters and histograms. It never affects the
+	// produced image.
 	Stats *stats.Recorder
+
+	// Trace, when non-nil, is the parent span under which Compress nests
+	// one span per pipeline phase (mirroring the Stats phase timers), with
+	// the dictionary build's own phase spans below core.build. Like
+	// Stats, it never affects the produced image.
+	Trace *trace.Span
 }
 
 // Normalized resolves the option defaults: MaxEntryLen 0 becomes the
@@ -256,13 +264,16 @@ func Compress(p *program.Program, opt Options) (*Image, error) {
 	opt = opt.Normalized()
 	n := len(p.Text)
 	stopAnalyze := opt.Stats.Time("core.analyze")
+	spAnalyze := opt.Trace.Child("core.analyze")
 	compressible, an, err := markers(p)
+	spAnalyze.End()
 	stopAnalyze()
 	if err != nil {
 		return nil, err
 	}
 
 	stopBuild := opt.Stats.Time("core.build")
+	spBuild := opt.Trace.Child("core.build")
 	res, err := dictionary.Build(p.Text, dictionary.Config{
 		MaxEntries:        opt.MaxEntries,
 		MaxEntryLen:       opt.MaxEntryLen,
@@ -272,7 +283,9 @@ func Compress(p *program.Program, opt Options) (*Image, error) {
 		Leader:            an.Leader,
 		Strategy:          opt.Strategy,
 		Stats:             opt.Stats,
+		Trace:             spBuild,
 	})
+	spBuild.End()
 	stopBuild()
 	if err != nil {
 		return nil, err
@@ -307,18 +320,22 @@ func assemble(p *program.Program, opt Options, res *dictionary.Result, rank rera
 	}
 
 	stopEncode := opt.Stats.Time("core.encode")
+	spEncode := opt.Trace.Child("core.encode")
 	lay, err := layout(p, an, res.Items, rank.of, opt.Scheme)
 	if err != nil {
+		spEncode.End()
 		stopEncode()
 		return nil, err
 	}
 	err = emit(img, p, res.Items, rank.of, lay)
+	spEncode.End()
 	stopEncode()
 	if err != nil {
 		return nil, err
 	}
 
 	defer opt.Stats.Time("core.patch")()
+	defer opt.Trace.Child("core.patch").End()
 	// Patch jump tables to absolute unit addresses in compressed space.
 	jts, err := p.JumpTableTargets()
 	if err != nil {

@@ -127,6 +127,7 @@ func (f *CompressedFrontend) Fetch() (machine.FetchInfo, error) {
 	fi := machine.FetchInfo{
 		Word: words[0], CIA: cia, Next: next, NextOK: len(words) == 1,
 		MemAddr: memAddr, MemBytes: memBytes,
+		EntryRank: it.Rank, EntryLen: len(words),
 	}
 	if f.dictBase != 0 {
 		// With a memory-resident dictionary, the first expanded word costs

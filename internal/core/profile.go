@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/ppc"
+	"repro/internal/stats"
+)
+
+// EntryHeat is one dictionary entry's execution profile: how often the
+// machine began expanding it, alongside the static facts from compression
+// (length, occurrences replaced, disassembly).
+type EntryHeat struct {
+	Rank  int      `json:"rank"`
+	Count int64    `json:"count"` // expansions begun during execution
+	Len   int      `json:"len"`   // instructions in the entry
+	Uses  int      `json:"uses"`  // static occurrences replaced at compress time
+	Insns []string `json:"insns"` // disassembled entry instructions
+}
+
+// CacheProfile is the I-cache's end-of-run totals plus the sampled
+// hit/miss time series (empty when no sampler was attached).
+type CacheProfile struct {
+	Accesses int64               `json:"accesses"`
+	Hits     int64               `json:"hits"`
+	Misses   int64               `json:"misses"`
+	MissRate float64             `json:"miss_rate"`
+	Curve    []cache.SamplePoint `json:"curve,omitempty"`
+}
+
+// RunProfile is the per-run execution profile behind ccrun -profile: the
+// machine's counters, the dictionary-entry heat map (hottest first), the
+// expansion-length histogram and, when a cache was simulated, its miss
+// curve. All fields are JSON-serializable.
+type RunProfile struct {
+	Name          string           `json:"name"`
+	Steps         int64            `json:"steps"`
+	Expanded      int64            `json:"expanded"`
+	MemFetches    int64            `json:"mem_fetches"`
+	FetchedBytes  int64            `json:"fetched_bytes"`
+	HotEntries    []EntryHeat      `json:"hot_entries,omitempty"`
+	ExpansionHist *stats.Histogram `json:"expansion_hist,omitempty"`
+	Cache         *CacheProfile    `json:"cache,omitempty"`
+}
+
+// HotEntriesTotal sums the heat map's expansion counts.
+func (p RunProfile) HotEntriesTotal() int64 {
+	var n int64
+	for _, e := range p.HotEntries {
+		n += e.Count
+	}
+	return n
+}
+
+// CollectRunProfile assembles a RunProfile after cpu.Run completed. img
+// may be nil (uncompressed run: no heat map or expansion histogram), as
+// may ic and curve (no cache section) — the profile simply omits those
+// sections. snap should be the snapshot of the recorder attached as
+// cpu.Record; its machine.expansion_len histogram becomes ExpansionHist.
+func CollectRunProfile(img *Image, cpu *machine.CPU, snap stats.Snapshot, ic *cache.Cache, curve []cache.SamplePoint) RunProfile {
+	p := RunProfile{
+		Steps:        cpu.Stats.Steps,
+		Expanded:     cpu.Stats.Expanded,
+		MemFetches:   cpu.Stats.MemFetches,
+		FetchedBytes: cpu.Stats.FetchedBytes,
+	}
+	if img != nil {
+		p.Name = img.Name
+		for rank, e := range img.Entries {
+			var n int64
+			if rank < len(cpu.Heat) {
+				n = cpu.Heat[rank]
+			}
+			if n == 0 {
+				continue
+			}
+			insns := make([]string, len(e.Words))
+			for i, w := range e.Words {
+				insns[i] = ppc.Disassemble(w)
+			}
+			p.HotEntries = append(p.HotEntries, EntryHeat{
+				Rank:  rank,
+				Count: n,
+				Len:   len(e.Words),
+				Uses:  e.Uses,
+				Insns: insns,
+			})
+		}
+		sort.SliceStable(p.HotEntries, func(i, j int) bool {
+			return p.HotEntries[i].Count > p.HotEntries[j].Count
+		})
+	}
+	if h, ok := snap.Hists["machine.expansion_len"]; ok {
+		hc := h
+		p.ExpansionHist = &hc
+	}
+	if ic != nil {
+		p.Cache = &CacheProfile{
+			Accesses: ic.Stats.Accesses,
+			Hits:     ic.Stats.Hits(),
+			Misses:   ic.Stats.Misses,
+			MissRate: ic.Stats.MissRate(),
+			Curve:    curve,
+		}
+	}
+	return p
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config parameterizes one dictionary build.
@@ -67,9 +68,19 @@ type Config struct {
 	// builder — dict.invalidations (occurrences killed by coverage),
 	// dict.dirty_skips (heap pops served from an exact cached use count,
 	// no occurrence rescan) and dict.hash_collisions (distinct sequences
-	// sharing a 64-bit enumeration hash). Counter values are
-	// implementation observability; only the Result is contractual.
+	// sharing a 64-bit enumeration hash). It also receives the
+	// dict.selection_bits histogram: the savings (in bits) of each
+	// selected entry at the moment of its selection — the paper's
+	// usage-vs-size distribution. Counter values are implementation
+	// observability; only the Result is contractual.
 	Stats *stats.Recorder
+
+	// Trace, when non-nil, is the parent span under which the build emits
+	// its phase spans: dict.enumerate (candidate enumeration),
+	// dict.select (the greedy selection loop) and dict.commit (assembling
+	// the rewritten item sequence). Like Stats, it never affects the
+	// Result.
+	Trace *trace.Span
 
 	// degradeHash, set only by tests, collapses the indexed builder's
 	// candidate hash to its low byte so the collision chain is exercised
@@ -161,12 +172,15 @@ func Build(text []uint32, cfg Config) (*Result, error) {
 // every re-evaluation rescans the candidate's full occurrence list against
 // the covered vector.
 func buildReference(text []uint32, cfg Config, maxEntries int) *Result {
+	spE := cfg.Trace.Child("dict.enumerate")
 	cands := enumerate(text, cfg)
+	spE.SetInt("candidates", int64(len(cands))).End()
 	cfg.Stats.Add("dict.candidates", int64(len(cands)))
 	covered := make([]bool, len(text))
 	coverEntry := newCoverEntry(len(text))
 	res := &Result{}
 
+	spS := cfg.Trace.Child("dict.select")
 	rank := 0
 	h := &candHeap{}
 	heap.Init(h)
@@ -193,23 +207,30 @@ func buildReference(text []uint32, cfg Config, maxEntries int) *Result {
 			continue
 		}
 		if selectCand(c, rank, covered, coverEntry, res) {
+			cfg.Stats.ObserveValue("dict.selection_bits", int64(v))
 			rank++
 		}
 	}
 	cfg.Stats.Add("dict.entries", int64(rank))
+	spS.SetInt("entries", int64(rank)).End()
+	spC := cfg.Trace.Child("dict.commit")
 	assembleItems(text, covered, coverEntry, res)
+	spC.End()
 	return res
 }
 
 // buildStatic ranks candidates once by initial savings and selects in that
 // fixed order (the ablation baseline).
 func buildStatic(text []uint32, cfg Config, maxEntries int) *Result {
+	spE := cfg.Trace.Child("dict.enumerate")
 	cands := enumerate(text, cfg)
+	spE.SetInt("candidates", int64(len(cands))).End()
 	cfg.Stats.Add("dict.candidates", int64(len(cands)))
 	covered := make([]bool, len(text))
 	coverEntry := newCoverEntry(len(text))
 	res := &Result{}
 
+	spS := cfg.Trace.Child("dict.select")
 	for _, c := range cands {
 		c.val = value(c, covered, cfg, 0)
 	}
@@ -219,15 +240,20 @@ func buildStatic(text []uint32, cfg Config, maxEntries int) *Result {
 		if rank >= maxEntries {
 			break
 		}
-		if value(c, covered, cfg, rank) <= 0 {
+		v := value(c, covered, cfg, rank)
+		if v <= 0 {
 			continue
 		}
 		if selectCand(c, rank, covered, coverEntry, res) {
+			cfg.Stats.ObserveValue("dict.selection_bits", int64(v))
 			rank++
 		}
 	}
 	cfg.Stats.Add("dict.entries", int64(rank))
+	spS.SetInt("entries", int64(rank)).End()
+	spC := cfg.Trace.Child("dict.commit")
 	assembleItems(text, covered, coverEntry, res)
+	spC.End()
 	return res
 }
 

@@ -114,7 +114,9 @@ func buildIndexed(text []uint32, cfg Config, maxEntries int) *Result {
 		// orders of magnitude of this.
 		return buildReference(text, cfg, maxEntries)
 	}
+	spE := cfg.Trace.Child("dict.enumerate")
 	ix := newIndex(text, cfg)
+	spE.SetInt("candidates", int64(len(ix.cands))).End()
 	cfg.Stats.Add("dict.candidates", int64(len(ix.cands)))
 	cfg.Stats.Add("dict.hash_collisions", ix.collisions)
 
@@ -122,6 +124,7 @@ func buildIndexed(text []uint32, cfg Config, maxEntries int) *Result {
 	coverEntry := newCoverEntry(n)
 	res := &Result{}
 
+	spS := cfg.Trace.Child("dict.select")
 	rank := 0
 	var pops, reevals, dirtySkips int64
 	h := make(icandHeap, 0, len(ix.cands))
@@ -156,6 +159,7 @@ func buildIndexed(text []uint32, cfg Config, maxEntries int) *Result {
 			continue
 		}
 		ix.commit(c, rank, covered, coverEntry, res)
+		cfg.Stats.ObserveValue("dict.selection_bits", int64(v))
 		c.dead = true
 		rank++
 	}
@@ -164,7 +168,10 @@ func buildIndexed(text []uint32, cfg Config, maxEntries int) *Result {
 	cfg.Stats.Add("dict.dirty_skips", dirtySkips)
 	cfg.Stats.Add("dict.invalidations", ix.invalidations)
 	cfg.Stats.Add("dict.entries", int64(rank))
+	spS.SetInt("entries", int64(rank)).End()
+	spC := cfg.Trace.Child("dict.commit")
 	assembleItems(text, covered, coverEntry, res)
+	spC.End()
 	return res
 }
 

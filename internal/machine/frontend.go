@@ -29,6 +29,14 @@ type FetchInfo struct {
 	// dictionary-entry fetch are distinct accesses).
 	MemAddr2  uint32
 	MemBytes2 int
+
+	// EntryRank/EntryLen attribute the fetch to a dictionary entry when
+	// it begins a codeword expansion: EntryLen is the entry's instruction
+	// count (0 on every other fetch, including the expansion's
+	// continuation fetches) and EntryRank its dictionary rank. They feed
+	// the CPU's per-entry heat map and expansion-length histogram.
+	EntryRank int
+	EntryLen  int
 }
 
 // Frontend is the instruction-fetch abstraction of Figure 3: the normal

@@ -63,8 +63,15 @@ type CPU struct {
 
 	// Record, when non-nil, receives the execution counters of every Run
 	// (machine.steps, machine.expanded, machine.fetched_bytes — deltas per
-	// Run, so repeated Runs on one CPU accumulate correctly).
+	// Run, so repeated Runs on one CPU accumulate correctly) plus the
+	// machine.expansion_len histogram: the entry length of every codeword
+	// expansion the frontend begins.
 	Record *stats.Recorder
+
+	// Heat, when non-nil (enable with EnableHeat), accumulates the
+	// dictionary-entry heat map: Heat[rank] counts the codeword fetches
+	// that began expanding that entry.
+	Heat []int64
 
 	Stats Stats
 
@@ -100,6 +107,11 @@ func NewForProgram(p *program.Program) (*CPU, error) {
 	cpu.GPR[1] = stackTop - 64 // stack pointer with a red zone
 	return cpu, nil
 }
+
+// EnableHeat allocates the dictionary-entry heat map for a dictionary of
+// the given size; fetches attributed to an entry rank beyond it are
+// dropped.
+func (c *CPU) EnableHeat(entries int) { c.Heat = make([]int64, entries) }
 
 // Output returns everything the program printed through syscalls.
 func (c *CPU) Output() []byte { return c.out.Bytes() }
@@ -155,6 +167,12 @@ func (c *CPU) Step() error {
 		if c.TraceFetch != nil {
 			c.TraceFetch(fi.MemAddr2, fi.MemBytes2)
 		}
+	}
+	if fi.EntryLen > 0 {
+		if c.Heat != nil && fi.EntryRank < len(c.Heat) {
+			c.Heat[fi.EntryRank]++
+		}
+		c.Record.ObserveValue("machine.expansion_len", int64(fi.EntryLen))
 	}
 	if c.TraceExec != nil {
 		c.TraceExec(fi.CIA, fi.Word)

@@ -1,0 +1,155 @@
+package stats
+
+import "math/bits"
+
+// histBuckets is the number of log2 buckets an accumulator carries:
+// bucket 0 holds values <= 0, bucket i (1..64) holds values v with
+// bits.Len64(v) == i, i.e. the range [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// histAcc is the recorder-internal histogram accumulator.
+type histAcc struct {
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// bucketIdx maps a value to its log2 bucket.
+func bucketIdx(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i == 64 {
+		return lo, int64(^uint64(0) >> 1)
+	}
+	return lo, int64(1)<<i - 1
+}
+
+func (h *histAcc) observe(v int64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIdx(v)]++
+}
+
+// Bucket is one populated log2 bucket of a snapshot histogram, covering
+// the inclusive value range [Lo, Hi].
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Histogram is the point-in-time, JSON-serializable form of a
+// log2-bucketed value distribution. Quantiles are estimated by linear
+// interpolation inside the containing bucket and clamped to the observed
+// [Min, Max] — exact for distributions that fit one bucket, within a
+// factor of two otherwise.
+type Histogram struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+
+	// Buckets lists the populated buckets in ascending value order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean is the average observed value.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the buckets.
+func (h Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		// Linear interpolation inside the bucket's value range.
+		f := float64(rank-cum) / float64(b.Count)
+		v := b.Lo + int64(f*float64(b.Hi-b.Lo))
+		return clamp(v, h.Min, h.Max)
+	}
+	return h.Max
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// snapshot converts the accumulator to its exported form.
+func (h *histAcc) snapshot() Histogram {
+	out := Histogram{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out.Buckets = append(out.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P90 = out.Quantile(0.90)
+	out.P99 = out.Quantile(0.99)
+	return out
+}
+
+// merge folds a snapshot histogram back into the accumulator (Recorder.
+// Merge). Bucket Lo values map bijectively onto accumulator indices, so
+// counts fold without loss; Min/Max/Sum merge exactly.
+func (h *histAcc) merge(s Histogram) {
+	if s.Count == 0 {
+		return
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	for _, b := range s.Buckets {
+		h.buckets[bucketIdx(b.Lo)] += b.Count
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	for v := int64(1); v <= 100; v++ {
+		r.ObserveValue("h", v)
+	}
+	h := r.Snapshot().Hist("h")
+	if h.Count != 100 || h.Sum != 5050 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("histogram totals: %+v", h)
+	}
+	// 1..100 spans buckets [1,1], [2,3], ... [64,127]: 7 populated buckets.
+	if len(h.Buckets) != 7 {
+		t.Fatalf("buckets: %+v", h.Buckets)
+	}
+	var n int64
+	for _, b := range h.Buckets {
+		n += b.Count
+	}
+	if n != 100 {
+		t.Fatalf("bucket counts sum to %d", n)
+	}
+	// Log-bucket quantiles are within a factor of two of the true value.
+	if h.P50 < 32 || h.P50 > 64 {
+		t.Errorf("p50 = %d, want within [32,64]", h.P50)
+	}
+	if h.P90 < 64 || h.P90 > 100 {
+		t.Errorf("p90 = %d, want within [64,100]", h.P90)
+	}
+	if h.P99 < h.P90 || h.P99 > 100 {
+		t.Errorf("p99 = %d (p90 %d)", h.P99, h.P90)
+	}
+}
+
+func TestHistogramSingleValueExactQuantiles(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.ObserveValue("h", 7)
+	}
+	h := r.Snapshot().Hist("h")
+	// All mass in one bucket clamped by min==max: quantiles are exact.
+	if h.P50 != 7 || h.P90 != 7 || h.P99 != 7 {
+		t.Fatalf("quantiles: %+v", h)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	r := New()
+	r.ObserveValue("h", 0)
+	r.ObserveValue("h", -5)
+	r.ObserveValue("h", 3)
+	h := r.Snapshot().Hist("h")
+	if h.Count != 3 || h.Min != -5 || h.Max != 3 || h.Sum != -2 {
+		t.Fatalf("histogram: %+v", h)
+	}
+}
+
+func TestHistogramMergeEqualsDirect(t *testing.T) {
+	direct, a, b := New(), New(), New()
+	for v := int64(1); v <= 50; v++ {
+		direct.ObserveValue("h", v)
+		a.ObserveValue("h", v)
+	}
+	for v := int64(51); v <= 100; v++ {
+		direct.ObserveValue("h", v)
+		b.ObserveValue("h", v)
+	}
+	merged := New()
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+	want, got := direct.Snapshot().Hist("h"), merged.Snapshot().Hist("h")
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if string(wj) != string(gj) {
+		t.Fatalf("merged %s\nwant   %s", gj, wj)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.ObserveValue("lat", 10)
+	r.ObserveValue("lat", 1000)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	h := back.Hist("lat")
+	if h.Count != 2 || h.Sum != 1010 || len(h.Buckets) != 2 {
+		t.Fatalf("round trip: %+v", h)
+	}
+}
+
+func TestNilRecorderHistogram(t *testing.T) {
+	var r *Recorder
+	r.ObserveValue("h", 42) // must not panic
+	if s := r.Snapshot(); len(s.Hists) != 0 {
+		t.Fatalf("nil recorder hists: %+v", s.Hists)
+	}
+}

@@ -1,25 +1,28 @@
 // Package stats is the observability layer of the experiment engine:
-// a concurrency-safe Recorder of named counters and phase timers that the
-// compression pipeline (dictionary build, core phases, machine execution)
-// reports into when a caller threads one through. All hooks are optional —
-// every method is a no-op on a nil *Recorder — so the hot paths carry no
-// cost unless a caller asks for instrumentation.
+// a concurrency-safe Recorder of named counters, phase timers and
+// log2-bucketed value histograms that the compression pipeline
+// (dictionary build, core phases, machine execution) reports into when a
+// caller threads one through. All hooks are optional — every method is a
+// no-op on a nil *Recorder — so the hot paths carry no cost unless a
+// caller asks for instrumentation.
 package stats
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Recorder accumulates counters and phase durations. The zero value is not
-// usable; call New. A nil *Recorder is a valid sink that discards
-// everything.
+// Recorder accumulates counters, phase durations and value histograms.
+// The zero value is not usable; call New. A nil *Recorder is a valid sink
+// that discards everything.
 type Recorder struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	phases   map[string]Phase
+	hists    map[string]*histAcc
 }
 
 // Phase is the accumulated timing of one named phase.
@@ -33,7 +36,11 @@ func (p Phase) Duration() time.Duration { return time.Duration(p.Nanos) }
 
 // New creates an empty recorder.
 func New() *Recorder {
-	return &Recorder{counters: map[string]int64{}, phases: map[string]Phase{}}
+	return &Recorder{
+		counters: map[string]int64{},
+		phases:   map[string]Phase{},
+		hists:    map[string]*histAcc{},
+	}
 }
 
 // Add increments the named counter by n. Adding zero still materializes
@@ -76,6 +83,23 @@ func (r *Recorder) Time(name string) func() {
 	return func() { r.Observe(name, time.Since(t0)) }
 }
 
+// ObserveValue folds one value into the named histogram. Distributions
+// accumulate in log2 buckets, so the cost is a couple of integer
+// operations regardless of the value range.
+func (r *Recorder) ObserveValue(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histAcc{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
 // Merge folds a snapshot into the recorder (engine totals aggregate
 // per-experiment recorders this way).
 func (r *Recorder) Merge(s Snapshot) {
@@ -93,13 +117,22 @@ func (r *Recorder) Merge(s Snapshot) {
 		p.Nanos += v.Nanos
 		r.phases[k] = p
 	}
+	for k, v := range s.Hists {
+		h := r.hists[k]
+		if h == nil {
+			h = &histAcc{}
+			r.hists[k] = h
+		}
+		h.merge(v)
+	}
 }
 
 // Snapshot is a point-in-time copy of a recorder, safe to read and
 // serialize while the recorder keeps accumulating.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Phases   map[string]Phase `json:"phases,omitempty"`
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Phases   map[string]Phase     `json:"phases,omitempty"`
+	Hists    map[string]Histogram `json:"hists,omitempty"`
 }
 
 // Snapshot copies the current state. A nil recorder yields an empty
@@ -120,6 +153,12 @@ func (r *Recorder) Snapshot() Snapshot {
 	for k, v := range r.phases {
 		s.Phases[k] = v
 	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]Histogram, len(r.hists))
+		for k, h := range r.hists {
+			s.Hists[k] = h.snapshot()
+		}
+	}
 	return s
 }
 
@@ -129,24 +168,31 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // Phase returns one phase's accumulated timing.
 func (s Snapshot) Phase(name string) Phase { return s.Phases[name] }
 
+// Hist returns one histogram from the snapshot (zero value if absent).
+func (s Snapshot) Hist(name string) Histogram { return s.Hists[name] }
+
 // Summary renders the snapshot as sorted "name=value" fields — counters
-// first, then phases with millisecond durations — for table footers and
-// log lines.
+// as "k=v", phases as "k=1.2ms/3", histograms as "k=n3/p50=8/p99=31" —
+// for table footers and log lines. Fields sort lexicographically by their
+// rendered text, so the order is deterministic for any snapshot.
 func (s Snapshot) Summary() string {
-	fields := make([]string, 0, len(s.Counters)+len(s.Phases))
+	fields := make([]string, 0, len(s.Counters)+len(s.Phases)+len(s.Hists))
 	for k, v := range s.Counters {
 		fields = append(fields, fmt.Sprintf("%s=%d", k, v))
 	}
 	for k, v := range s.Phases {
 		fields = append(fields, fmt.Sprintf("%s=%.1fms/%d", k, float64(v.Nanos)/1e6, v.Count))
 	}
+	for k, h := range s.Hists {
+		fields = append(fields, fmt.Sprintf("%s=n%d/p50=%d/p99=%d", k, h.Count, h.P50, h.P99))
+	}
 	sort.Strings(fields)
-	out := ""
+	var b strings.Builder
 	for i, f := range fields {
 		if i > 0 {
-			out += " "
+			b.WriteByte(' ')
 		}
-		out += f
+		b.WriteString(f)
 	}
-	return out
+	return b.String()
 }

@@ -78,6 +78,74 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestConcurrentEverything drives every recorder entry point — Add,
+// Observe, ObserveValue, Merge and Snapshot — from many goroutines at
+// once; run under -race it is the recorder's concurrency gate.
+func TestConcurrentEverything(t *testing.T) {
+	r := New()
+	side := New()
+	side.Add("merged", 1)
+	side.ObserveValue("mh", 5)
+	sideSnap := side.Snapshot()
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				switch (i + j) % 5 {
+				case 0:
+					r.Add("c", 1)
+				case 1:
+					r.Observe("p", time.Microsecond)
+				case 2:
+					r.ObserveValue("h", int64(j))
+				case 3:
+					r.Merge(sideSnap)
+				case 4:
+					_ = r.Snapshot().Summary()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	total := s.Counter("c") + s.Phase("p").Count + s.Hist("h").Count +
+		s.Counter("merged")
+	if total != workers*iters*4/5 {
+		t.Errorf("operations accounted = %d, want %d", total, workers*iters*4/5)
+	}
+}
+
+// TestSummaryFieldOrder pins Summary's exact rendering: fields sort
+// lexicographically by their rendered text regardless of kind, so the
+// output is byte-deterministic for any snapshot.
+func TestSummaryFieldOrder(t *testing.T) {
+	s := Snapshot{
+		Counters: map[string]int64{"dict.entries": 12, "cache.hits": 90},
+		Phases: map[string]Phase{
+			"core.build": {Count: 3, Nanos: int64(4500 * time.Microsecond)},
+		},
+		Hists: map[string]Histogram{
+			"dict.selection_bits": {Count: 2, P50: 64, P99: 128},
+		},
+	}
+	const want = "cache.hits=90 core.build=4.5ms/3 dict.entries=12 dict.selection_bits=n2/p50=64/p99=128"
+	if got := s.Summary(); got != want {
+		t.Errorf("Summary() = %q\n            want %q", got, want)
+	}
+	// The order must be stable across repeated renderings (map iteration
+	// order must never leak through).
+	for i := 0; i < 20; i++ {
+		if got := s.Summary(); got != want {
+			t.Fatalf("iteration %d: %q", i, got)
+		}
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	r := New()
 	r.Add("c", 7)

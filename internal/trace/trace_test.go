@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root("r")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every span method must be a no-op on nil.
+	sp.Set("k", "v").SetInt("n", 1)
+	if c := sp.Child("c"); c != nil {
+		t.Fatal("nil span returned a child")
+	}
+	sp.End()
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer collected spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	tr := New()
+	root := tr.Root("experiment").Set("id", "fig5").SetInt("worker", 2)
+	child := root.Child("compress")
+	grand := child.Child("dict.select")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if !s.Ended {
+			t.Errorf("%s not ended", s.Name)
+		}
+	}
+	if byName["experiment"].Parent != 0 {
+		t.Error("root has a parent")
+	}
+	if byName["compress"].Parent != byName["experiment"].ID {
+		t.Error("child not parented to root")
+	}
+	if byName["dict.select"].Parent != byName["compress"].ID {
+		t.Error("grandchild not parented to child")
+	}
+	attrs := byName["experiment"].Attrs
+	if len(attrs) != 2 || attrs[0] != (Attr{"id", "fig5"}) || attrs[1] != (Attr{"worker", "2"}) {
+		t.Errorf("attrs = %+v", attrs)
+	}
+}
+
+// chromeDoc mirrors the subset of the trace-event format the exporter
+// emits; unmarshalling the output into it is the round-trip gate that the
+// file chrome://tracing / Perfetto will accept.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TS   *float64          `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  *int64            `json:"pid"`
+		TID  *int64            `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tr := New()
+	a := tr.Root("experiment:fig5").Set("worker", "0")
+	a.Child("corpus.compress").Set("bench", "gcc").End()
+	a.End()
+	b := tr.Root("experiment:fig6")
+	b.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 2 thread_name metadata events + 3 span events.
+	var meta, complete int
+	tracks := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.TS == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event missing required fields: %+v", ev)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tracks[*ev.TID] = true
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("events: %d metadata + %d complete, want 2 + 3", meta, complete)
+	}
+	// The two roots must land on distinct tracks; the child shares its
+	// root's track.
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %v, want 2", tracks)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New()
+	root := tr.Root("experiment").Set("id", "fig5")
+	root.Child("corpus.compress").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "experiment ") || !strings.Contains(lines[0], "id=fig5") {
+		t.Errorf("root line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  corpus.compress ") {
+		t.Errorf("child line %q", lines[1])
+	}
+}
+
+// TestConcurrentCollector exercises the collector from many goroutines —
+// span creation, attribute writes, End, and mid-run exports — and is the
+// tracer's -race gate.
+func TestConcurrentCollector(t *testing.T) {
+	tr := New()
+	root := tr.Root("run")
+	const workers, iters = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				sp := root.Child("work").SetInt("worker", int64(i))
+				sp.Child("inner").End()
+				sp.End()
+				if j%10 == 0 {
+					_ = tr.Spans()
+					_ = tr.WriteChrome(&bytes.Buffer{})
+					_ = tr.WriteTree(&bytes.Buffer{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got, want := tr.Len(), 1+workers*iters*2; got != want {
+		t.Fatalf("spans = %d, want %d", got, want)
+	}
+}
