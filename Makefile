@@ -34,8 +34,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Perf trajectory: dictionary.Build and core.Compress at small/medium/full
-# corpus sizes, recorded as BENCH_dictionary.json (ns/op, B/op, allocs/op).
+# corpus sizes plus the execution benchmarks, recorded as
+# BENCH_dictionary.json (ns/op, B/op, allocs/op, and histogram quantiles
+# such as selbits-p50/p90/p99 and explen-p50/p90/p99).
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
 	@echo wrote BENCH_dictionary.json

@@ -18,6 +18,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/lzw"
 	"repro/internal/machine"
+	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -146,6 +147,7 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				rec := stats.New()
 				cfg := dictionary.Config{
 					MaxEntries:        Baseline.MaxEntries(),
 					MaxEntryLen:       4,
@@ -154,6 +156,7 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 					Compressible:      comp,
 					Leader:            lead,
 					Strategy:          im.strat,
+					Stats:             rec,
 				}
 				b.SetBytes(int64(4 * len(p.Text)))
 				b.ReportAllocs()
@@ -165,6 +168,8 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 					}
 					benchSink = r
 				}
+				b.StopTimer()
+				reportHist(b, rec, "dict.selection_bits", "selbits")
 			})
 		}
 	}
@@ -249,6 +254,7 @@ func BenchmarkCompressedExecution(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rec := stats.New()
 	var steps int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -256,12 +262,29 @@ func BenchmarkCompressedExecution(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		cpu.Record = rec
 		if _, err := cpu.Run(200_000_000); err != nil {
 			b.Fatal(err)
 		}
 		steps = cpu.Stats.Steps
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(steps), "steps/op")
+	reportHist(b, rec, "machine.expansion_len", "explen")
+}
+
+// reportHist reports a recorded histogram's quantiles as custom benchmark
+// units, so `make bench-json` captures distribution shape (not just
+// means) in the BENCH_*.json trajectory.
+func reportHist(b *testing.B, rec *stats.Recorder, key, unit string) {
+	b.Helper()
+	h := rec.Snapshot().Hist(key)
+	if h.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(h.P50), unit+"-p50")
+	b.ReportMetric(float64(h.P90), unit+"-p90")
+	b.ReportMetric(float64(h.P99), unit+"-p99")
 }
 
 func BenchmarkLZWCompress(b *testing.B) {

@@ -1,6 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // repository's BENCH_*.json trajectory format: one record per benchmark
-// with ns/op, B/op, allocs/op and any custom metrics (ratio, steps/op, …).
+// with ns/op, B/op, allocs/op and any custom metrics — ratio, steps/op,
+// and the histogram quantiles the benchmarks report via b.ReportMetric
+// (selbits-p50/p90/p99 for dictionary selection savings, explen-p50/p90/
+// p99 for dynamic expansion lengths).
 //
 //	go test -run '^$' -bench 'Dictionary' -benchmem . | benchjson > BENCH_dictionary.json
 //

@@ -6,6 +6,8 @@
 //	ccrun prog.ppx
 //	ccrun -steps 1e8 -cache 1024 prog.ppz
 //	ccrun -cache 1024 -profile run.json prog.ppz   # JSON execution profile
+//	ccrun -guestprof prog.ppz                      # per-function cycle table
+//	ccrun -guestprof -folded out.folded prog.ppz   # flamegraph input
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/guestprof"
 	"repro/internal/machine"
 	"repro/internal/objfile"
 	"repro/internal/ppc"
@@ -30,6 +33,9 @@ func main() {
 	trace := flag.Int("trace", 0, "print the first N executed instructions to stderr")
 	profile := flag.String("profile", "", "write a JSON execution profile (hot dictionary entries, expansion histogram, cache miss curve) to this path; \"-\" means stdout")
 	sample := flag.Int64("sample", 4096, "with -profile and -cache, record a cache miss-curve point every N line accesses")
+	guestProf := flag.Bool("guestprof", false, "attribute cycles to guest functions (exact, symbolized); prints a top-20 table to stderr and adds a \"guest\" section to -profile output")
+	folded := flag.String("folded", "", "with -guestprof, write folded call stacks (flamegraph input) to this path; \"-\" means stdout")
+	topN := flag.Int("top", 20, "with -guestprof, rows in the per-function table (0 = all)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,6 +51,8 @@ func main() {
 
 	var cpu *machine.CPU
 	var img *core.Image
+	var sym *guestprof.SymTab
+	wantGuest := *guestProf || *folded != ""
 	switch {
 	case strings.HasSuffix(path, ".ppz"):
 		img, err = objfile.ReadImage(f)
@@ -55,6 +63,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if wantGuest {
+			// Compressed runs symbolize through the image's address map, so
+			// cycles land on the original program's function names.
+			if sym, err = img.GuestSymTab(); err != nil {
+				fatal(err)
+			}
+		}
 	default:
 		p, err := objfile.ReadProgram(f)
 		if err != nil {
@@ -63,6 +78,9 @@ func main() {
 		cpu, err = machine.NewForProgram(p)
 		if err != nil {
 			fatal(err)
+		}
+		if wantGuest {
+			sym = guestprof.NewProgramSymTab(p)
 		}
 	}
 
@@ -92,6 +110,13 @@ func main() {
 		}
 	}
 
+	var gp *guestprof.Profiler
+	if sym != nil {
+		gp = guestprof.New(sym)
+		gp.ObserveCache(ic)
+		gp.Attach(cpu)
+	}
+
 	if *trace > 0 {
 		left := *trace
 		cpu.TraceExec = func(cia uint32, word uint32) {
@@ -117,6 +142,22 @@ func main() {
 			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
 	}
 
+	var guest *guestprof.Profile
+	if gp != nil {
+		guest = gp.Profile(path)
+		if *guestProf {
+			fmt.Fprintln(os.Stderr)
+			if err := guest.WriteTop(os.Stderr, *topN); err != nil {
+				fatal(err)
+			}
+		}
+		if *folded != "" {
+			if err := writeFolded(*folded, gp); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	if *profile != "" {
 		var curve []cache.SamplePoint
 		if smp != nil {
@@ -126,10 +167,25 @@ func main() {
 		if prof.Name == "" {
 			prof.Name = path
 		}
+		prof.Guest = guest
 		if err := writeProfile(*profile, prof); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// writeFolded emits folded call stacks; "-" selects stdout.
+func writeFolded(path string, gp *guestprof.Profiler) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return gp.WriteFolded(w)
 }
 
 // writeProfile emits the profile as indented JSON; "-" selects stdout.

@@ -10,7 +10,8 @@
 //	experiments -timeout 2m      # cancel the run after a deadline
 //	experiments -list            # list experiment ids
 //	experiments -trace out.json  # write a Chrome trace-event file of the run
-//	experiments -pprof :6060     # serve net/http/pprof + live counters
+//	experiments -pprof :6060     # serve net/http/pprof, live counters, /metrics
+//	experiments -guestprof dir/  # paired native/compressed guest profiles per benchmark
 //
 // Output is deterministic at every -parallel setting. The process exits
 // non-zero if any experiment fails.
@@ -30,6 +31,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/codeword"
+	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -64,6 +67,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print each experiment's counter/phase summary after its table")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the live stats snapshot (expvar \"stats\") on this address, e.g. :6060")
+	guestDir := flag.String("guestprof", "", "write paired native/compressed guest profiles (JSON + folded flamegraph stacks) for every benchmark into this directory")
 	flag.Parse()
 
 	if *list {
@@ -92,8 +96,15 @@ func main() {
 	totals := stats.New()
 	if *pprofAddr != "" {
 		// The expvar page exposes the run's live totals alongside the
-		// standard pprof endpoints.
+		// standard pprof endpoints, and /metrics serves the same snapshot
+		// in the OpenMetrics text format for Prometheus-style scrapers.
 		expvar.Publish("stats", expvar.Func(func() any { return totals.Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			if err := stats.WriteOpenMetrics(w, totals.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: /metrics: %v\n", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
@@ -104,7 +115,8 @@ func main() {
 	if *traceOut != "" {
 		tracer = trace.New()
 	}
-	engine := bench.NewEngine(bench.NewCorpus(), bench.EngineOptions{
+	corpus := bench.NewCorpus()
+	engine := bench.NewEngine(corpus, bench.EngineOptions{
 		Parallel: *parallel,
 		Recorder: totals,
 		Tracer:   tracer,
@@ -112,6 +124,16 @@ func main() {
 	t0 := time.Now()
 	results, runErr := engine.RunIDs(ctx, ids)
 	wall := time.Since(t0)
+	if *guestDir != "" && runErr == nil {
+		// The corpus is already warm from the run, so profiling only pays
+		// for the executions themselves.
+		opt := core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4}
+		if err := bench.WriteGuestProfiles(corpus, *guestDir, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: guest profiles: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote guest profile pairs to %s\n", *guestDir)
+	}
 	if tracer != nil {
 		if err := writeTrace(*traceOut, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

@@ -46,7 +46,8 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "table1", "fig4", "fig5", "table2", "fig6", "fig7",
 		"fig8", "fig9", "fig11", "table3", "baselines", "icache", "penalty",
 		"ablation-selection", "ablation-alignment",
-		"standardize", "dictplace", "cycles", "profiled", "regalloc", "refill", "shared", "crossover", "scaling"}
+		"standardize", "dictplace", "cycles", "profiled", "regalloc", "refill", "shared", "crossover", "scaling",
+		"guestprof"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing", id)

@@ -235,3 +235,56 @@ func TestSamplerCrossingInterval(t *testing.T) {
 		t.Fatalf("points: %+v", s.Points)
 	}
 }
+
+func TestSamplerZeroAccesses(t *testing.T) {
+	// A run that never touches the cache produces no points and leaves the
+	// totals untouched.
+	c := mk(t, 1024, 32, 1)
+	s, err := NewSampler(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 0 {
+		t.Fatalf("points before any access: %+v", s.Points)
+	}
+	if c.Stats.Accesses != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("stats before any access: %+v", c.Stats)
+	}
+}
+
+func TestSamplerSingleAccess(t *testing.T) {
+	// One access with an interval of 1 yields exactly one point carrying
+	// the cold miss.
+	c := mk(t, 1024, 32, 1)
+	s, err := NewSampler(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, 4)
+	if len(s.Points) != 1 {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	p := s.Points[0]
+	if p.Access != 1 || p.Misses != 1 || p.Hits != 0 {
+		t.Fatalf("point: %+v", p)
+	}
+}
+
+func TestSamplerIntervalLargerThanTrace(t *testing.T) {
+	// An interval longer than the whole access trace never samples; the
+	// curve is empty but the cache totals still record the run.
+	c := mk(t, 1024, 32, 1)
+	s, err := NewSampler(c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Access(uint32(32*i), 4)
+	}
+	if len(s.Points) != 0 {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	if c.Stats.Accesses != 10 {
+		t.Fatalf("accesses %d, want 10", c.Stats.Accesses)
+	}
+}

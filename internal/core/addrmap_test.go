@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codeword"
+	"repro/internal/synth"
+)
+
+func compressedImage(t *testing.T, name string) *Image {
+	t.Helper()
+	p, err := synth.Generate(name)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	img, err := Compress(p, Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	return img
+}
+
+func TestAddrMapRoundTrip(t *testing.T) {
+	img := compressedImage(t, "compress")
+	m, err := img.AddrMap()
+	if err != nil {
+		t.Fatalf("AddrMap: %v", err)
+	}
+
+	words := img.OriginalBytes / 4
+	for w := 0; w < words; w++ {
+		native := img.TextBase + 4*uint32(w)
+		unit, ok := m.UnitAddr(native)
+		if !ok {
+			t.Fatalf("UnitAddr(%#x) not mapped", native)
+		}
+		if unit < img.Base || unit >= img.Base+uint32(img.Units) {
+			t.Fatalf("UnitAddr(%#x) = %#x outside compressed text", native, unit)
+		}
+		// Mapping back lands on the covering item's first original word —
+		// at or before the word we started from (floor semantics), and
+		// close enough to stay in the same few-instruction item.
+		back, ok := m.NativeAddr(unit)
+		if !ok {
+			t.Fatalf("NativeAddr(%#x) not mapped", unit)
+		}
+		if back > native {
+			t.Errorf("NativeAddr(UnitAddr(%#x)) = %#x overshoots", native, back)
+		}
+		if native-back > 64 {
+			t.Errorf("NativeAddr(UnitAddr(%#x)) = %#x too far back", native, back)
+		}
+	}
+}
+
+func TestAddrMapUnitCoverage(t *testing.T) {
+	img := compressedImage(t, "li")
+	m, err := img.AddrMap()
+	if err != nil {
+		t.Fatalf("AddrMap: %v", err)
+	}
+	// Every unit address inside the stream maps to some original text
+	// address; stub and codeword interiors floor to their item's origin.
+	for u := 0; u < img.Units; u++ {
+		native, ok := m.NativeAddr(img.Base + uint32(u))
+		if !ok {
+			t.Fatalf("NativeAddr(base+%d) not mapped", u)
+		}
+		if native < img.TextBase || native >= img.TextBase+uint32(img.OriginalBytes) {
+			t.Fatalf("NativeAddr(base+%d) = %#x outside original text", u, native)
+		}
+	}
+}
+
+func TestAddrMapBounds(t *testing.T) {
+	img := compressedImage(t, "compress")
+	m, err := img.AddrMap()
+	if err != nil {
+		t.Fatalf("AddrMap: %v", err)
+	}
+	if _, ok := m.NativeAddr(img.Base - 1); ok {
+		t.Error("NativeAddr below base should fail")
+	}
+	if _, ok := m.NativeAddr(img.Base + uint32(img.Units)); ok {
+		t.Error("NativeAddr at end of stream should fail")
+	}
+	if _, ok := m.UnitAddr(img.TextBase - 4); ok {
+		t.Error("UnitAddr below text should fail")
+	}
+	if _, ok := m.UnitAddr(img.TextBase + uint32(img.OriginalBytes)); ok {
+		t.Error("UnitAddr at end of text should fail")
+	}
+}
+
+func TestAddrMapRequiresMarks(t *testing.T) {
+	img := compressedImage(t, "compress")
+	img.Marks = nil
+	if _, err := img.AddrMap(); err == nil {
+		t.Error("AddrMap on a stripped image should fail")
+	}
+	if _, err := img.GuestSymTab(); err == nil {
+		t.Error("GuestSymTab on a stripped image should fail")
+	}
+}
+
+func TestGuestSymTabRequiresSymbols(t *testing.T) {
+	img := compressedImage(t, "compress")
+	img.OrigSymbols = nil
+	if _, err := img.GuestSymTab(); err == nil {
+		t.Error("GuestSymTab without original symbols should fail")
+	}
+}

@@ -138,6 +138,14 @@ type Image struct {
 
 	Symbols []program.Symbol // Word field holds the *unit* offset
 
+	// TextBase and OrigSymbols preserve the original program's text base
+	// address and full symbol table (Word = original text word index), so a
+	// compressed image can be symbolized in native terms through its
+	// AddrMap — the guest profiler's requirement for producing profiles
+	// diffable against an uncompressed run.
+	TextBase    uint32
+	OrigSymbols []program.Symbol
+
 	Marks []Mark
 
 	OriginalBytes   int
@@ -316,6 +324,8 @@ func assemble(p *program.Program, opt Options, res *dictionary.Result, rank rera
 		Data:           append([]byte(nil), p.Data...),
 		DataBase:       p.DataBase,
 		JumpTableSlots: append([]int(nil), p.JumpTableSlots...),
+		TextBase:       p.TextBase,
+		OrigSymbols:    append([]program.Symbol(nil), p.Symbols...),
 		OriginalBytes:  p.SizeBytes(),
 	}
 

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/guestprof"
+)
+
+// GuestSymTab builds the symbol table that symbolizes a compressed run in
+// native terms. Function names and boundaries come from the original
+// program's symbols (preserved on the image at compress time), and every
+// compressed-space PC is translated through the image's address map before
+// resolution — so a profile of the compressed image attributes cycles to
+// the same function names as a native run of the same program, and the two
+// profiles diff directly.
+func (img *Image) GuestSymTab() (*guestprof.SymTab, error) {
+	m, err := img.AddrMap()
+	if err != nil {
+		return nil, err
+	}
+	if len(img.OrigSymbols) == 0 {
+		return nil, fmt.Errorf("core: image %s carries no original symbols; cannot symbolize", img.Name)
+	}
+	funcs := make([]guestprof.Func, len(img.OrigSymbols))
+	for i, s := range img.OrigSymbols {
+		funcs[i] = guestprof.Func{Name: s.Name, Start: img.TextBase + 4*uint32(s.Word)}
+	}
+	t := guestprof.NewSymTab(funcs, img.TextBase, img.TextBase+uint32(img.OriginalBytes))
+	return t.WithTranslate(m.NativeAddr), nil
+}

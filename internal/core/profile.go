@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/guestprof"
 	"repro/internal/machine"
 	"repro/internal/ppc"
 	"repro/internal/stats"
@@ -43,6 +44,10 @@ type RunProfile struct {
 	HotEntries    []EntryHeat      `json:"hot_entries,omitempty"`
 	ExpansionHist *stats.Histogram `json:"expansion_hist,omitempty"`
 	Cache         *CacheProfile    `json:"cache,omitempty"`
+
+	// Guest is the symbolized per-function guest profile, present when a
+	// guestprof.Profiler was attached to the run (ccrun -guestprof).
+	Guest *guestprof.Profile `json:"guest,omitempty"`
 }
 
 // HotEntriesTotal sums the heat map's expansion counts.

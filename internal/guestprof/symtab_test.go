@@ -1,0 +1,76 @@
+package guestprof
+
+import "testing"
+
+func TestSymTabFuncOf(t *testing.T) {
+	tab := NewSymTab([]Func{
+		{Name: "b", Start: 0x120},
+		{Name: "a", Start: 0x100}, // out of order on purpose: NewSymTab sorts
+		{Name: "c", Start: 0x200},
+	}, 0x100, 0x300)
+
+	cases := []struct {
+		pc   uint32
+		want string
+	}{
+		{0x0FC, UnknownName}, // below text
+		{0x100, "a"},
+		{0x11C, "a"},
+		{0x120, "b"},
+		{0x1FC, "b"},
+		{0x200, "c"},
+		{0x2FC, "c"},
+		{0x300, UnknownName}, // end of text is exclusive
+	}
+	for _, c := range cases {
+		if got := tab.Name(tab.FuncOf(c.pc)); got != c.want {
+			t.Errorf("FuncOf(%#x) = %q, want %q", c.pc, got, c.want)
+		}
+	}
+	if tab.NumFuncs() != 3 {
+		t.Errorf("NumFuncs = %d, want 3", tab.NumFuncs())
+	}
+}
+
+func TestSymTabBeforeFirstSymbol(t *testing.T) {
+	// Text begins before the first symbol: those addresses are in bounds
+	// but uncovered.
+	tab := NewSymTab([]Func{{Name: "f", Start: 0x110}}, 0x100, 0x120)
+	if got := tab.FuncOf(0x104); got != -1 {
+		t.Errorf("FuncOf(0x104) = %d, want -1", got)
+	}
+	if got := tab.Name(tab.FuncOf(0x110)); got != "f" {
+		t.Errorf("FuncOf(0x110) = %q, want f", got)
+	}
+}
+
+func TestSymTabWithTranslate(t *testing.T) {
+	base := NewSymTab([]Func{{Name: "f", Start: 0x100}}, 0x100, 0x200)
+	shifted := base.WithTranslate(func(pc uint32) (uint32, bool) {
+		if pc < 0x1000 {
+			return 0, false
+		}
+		return pc - 0x1000, true
+	})
+
+	if got := shifted.Name(shifted.FuncOf(0x1100)); got != "f" {
+		t.Errorf("translated FuncOf(0x1100) = %q, want f", got)
+	}
+	if got := shifted.FuncOf(0x80); got != -1 {
+		t.Errorf("rejected translation should be unknown, got %d", got)
+	}
+	// The original table is unaffected by the derived view.
+	if got := base.Name(base.FuncOf(0x100)); got != "f" {
+		t.Errorf("base table broken after WithTranslate: %q", got)
+	}
+}
+
+func TestNameOutOfRange(t *testing.T) {
+	tab := NewSymTab(nil, 0, 0)
+	if got := tab.Name(-1); got != UnknownName {
+		t.Errorf("Name(-1) = %q", got)
+	}
+	if got := tab.Name(5); got != UnknownName {
+		t.Errorf("Name(5) = %q", got)
+	}
+}

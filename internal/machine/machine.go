@@ -61,6 +61,13 @@ type CPU struct {
 	// its fetch address (PC space of the active frontend).
 	TraceExec func(cia uint32, word uint32)
 
+	// TraceStep, when non-nil, receives every executed instruction after
+	// its architectural effects: the FetchInfo plus the control transfer
+	// the instruction performed (the guest profiler's hook). It fires once
+	// per Step, even for the instruction that exits the program, so the
+	// number of deliveries equals Stats.Steps.
+	TraceStep func(StepInfo)
+
 	// Record, when non-nil, receives the execution counters of every Run
 	// (machine.steps, machine.expanded, machine.fetched_bytes — deltas per
 	// Run, so repeated Runs on one CPU accumulate correctly) plus the
@@ -75,8 +82,43 @@ type CPU struct {
 
 	Stats Stats
 
+	branch takenBranch // control transfer of the instruction being executed
 	exited bool
 	status int32
+}
+
+// BranchKind classifies the control transfer an executed instruction
+// performed, as observed by TraceStep. Classification follows the link
+// semantics of the PowerPC branch family: any taken branch that sets LR is
+// a call (bl, bcl, bctrl, blrl), a taken bclr that does not set LR is a
+// return (blr and its conditional variants), and every other taken branch
+// — including bctr, which jump tables and far-branch stubs use — is a
+// plain jump.
+type BranchKind uint8
+
+// Control-transfer kinds.
+const (
+	BranchNone   BranchKind = iota // no transfer (or branch not taken)
+	BranchJump                     // taken branch without link (b, bc, bctr)
+	BranchCall                     // taken branch with LK set
+	BranchReturn                   // taken bclr without LK
+)
+
+// takenBranch records the transfer exec performed during the current Step.
+type takenBranch struct {
+	Kind   BranchKind
+	Target uint32
+}
+
+// StepInfo is what TraceStep observers receive: the executed instruction's
+// fetch description plus the control transfer it performed. Target and
+// Next are addresses in the PC space of the active frontend (byte
+// addresses on the normal path, absolute unit addresses on the compressed
+// path), so call/return matching works identically in both modes.
+type StepInfo struct {
+	FetchInfo
+	Branch BranchKind
+	Target uint32 // PC-space branch target when Branch != BranchNone
 }
 
 // New creates a CPU over the given memory and frontend.
@@ -145,6 +187,23 @@ func (c *CPU) Run(maxSteps int64) (int32, error) {
 	return 0, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
 }
 
+// traceAccess accounts one program-memory access of a fetch and forwards
+// it to the TraceFetch hook. This is the single place FetchInfo's access
+// contract is enforced: MemAddr/MemBytes is the primary access (the
+// instruction or codeword fetch itself; MemBytes == 0 exactly when the
+// instruction was expanded from an on-chip dictionary and touched no
+// program memory), MemAddr2/MemBytes2 is the optional secondary access (a
+// memory-resident dictionary-entry fetch). Each access flows through here
+// exactly once, in fetch order, so Stats.MemFetches/FetchedBytes and the
+// cache simulation agree on what the memory interface saw.
+func (c *CPU) traceAccess(addr uint32, nbytes int) {
+	c.Stats.MemFetches++
+	c.Stats.FetchedBytes += int64(nbytes)
+	if c.TraceFetch != nil {
+		c.TraceFetch(addr, nbytes)
+	}
+}
+
 // Step fetches and executes one instruction.
 func (c *CPU) Step() error {
 	fi, err := c.fe.Fetch()
@@ -153,20 +212,12 @@ func (c *CPU) Step() error {
 	}
 	c.Stats.Steps++
 	if fi.MemBytes > 0 {
-		c.Stats.MemFetches++
-		c.Stats.FetchedBytes += int64(fi.MemBytes)
-		if c.TraceFetch != nil {
-			c.TraceFetch(fi.MemAddr, fi.MemBytes)
-		}
+		c.traceAccess(fi.MemAddr, fi.MemBytes)
 	} else {
 		c.Stats.Expanded++
 	}
 	if fi.MemBytes2 > 0 {
-		c.Stats.MemFetches++
-		c.Stats.FetchedBytes += int64(fi.MemBytes2)
-		if c.TraceFetch != nil {
-			c.TraceFetch(fi.MemAddr2, fi.MemBytes2)
-		}
+		c.traceAccess(fi.MemAddr2, fi.MemBytes2)
 	}
 	if fi.EntryLen > 0 {
 		if c.Heat != nil && fi.EntryRank < len(c.Heat) {
@@ -177,7 +228,20 @@ func (c *CPU) Step() error {
 	if c.TraceExec != nil {
 		c.TraceExec(fi.CIA, fi.Word)
 	}
-	return c.exec(fi)
+	c.branch = takenBranch{}
+	err = c.exec(fi)
+	if c.TraceStep != nil {
+		c.TraceStep(StepInfo{FetchInfo: fi, Branch: c.branch.Kind, Target: c.branch.Target})
+	}
+	return err
+}
+
+// branchTo records a taken control transfer and redirects fetch. The
+// recorded kind/target reach TraceStep observers after exec completes.
+func (c *CPU) branchTo(target uint32, kind BranchKind) error {
+	c.Stats.TakenBranches++
+	c.branch = takenBranch{Kind: kind, Target: target}
+	return c.fe.SetPC(target)
 }
 
 func (c *CPU) exec(fi FetchInfo) error {
@@ -429,8 +493,7 @@ func (c *CPU) exec(fi FetchInfo) error {
 			}
 			c.LR = fi.Next
 		}
-		c.Stats.TakenBranches++
-		return c.fe.SetPC(c.fe.RelTarget(fi.CIA, i.Imm>>2))
+		return c.branchTo(c.fe.RelTarget(fi.CIA, i.Imm>>2), linkKind(i.LK))
 	case ppc.OpBc:
 		if i.AA {
 			return fmt.Errorf("machine: absolute branch at %#x unsupported", fi.CIA)
@@ -443,8 +506,7 @@ func (c *CPU) exec(fi FetchInfo) error {
 			c.LR = fi.Next
 		}
 		if taken {
-			c.Stats.TakenBranches++
-			return c.fe.SetPC(c.fe.RelTarget(fi.CIA, i.Imm>>2))
+			return c.branchTo(c.fe.RelTarget(fi.CIA, i.Imm>>2), linkKind(i.LK))
 		}
 	case ppc.OpBclr:
 		taken := c.branchCond(i.BO, i.BI)
@@ -456,8 +518,11 @@ func (c *CPU) exec(fi FetchInfo) error {
 			c.LR = fi.Next
 		}
 		if taken {
-			c.Stats.TakenBranches++
-			return c.fe.SetPC(target)
+			kind := BranchReturn
+			if i.LK {
+				kind = BranchCall
+			}
+			return c.branchTo(target, kind)
 		}
 	case ppc.OpBcctr:
 		taken := c.branchCond(i.BO, i.BI)
@@ -468,8 +533,7 @@ func (c *CPU) exec(fi FetchInfo) error {
 			c.LR = fi.Next
 		}
 		if taken {
-			c.Stats.TakenBranches++
-			return c.fe.SetPC(c.CTR)
+			return c.branchTo(c.CTR, linkKind(i.LK))
 		}
 
 	case ppc.OpSc:
@@ -480,6 +544,15 @@ func (c *CPU) exec(fi FetchInfo) error {
 		return fmt.Errorf("machine: unimplemented op %v at %#x", i.Op, fi.CIA)
 	}
 	return nil
+}
+
+// linkKind maps a branch's LK bit to its transfer kind for non-bclr
+// branches: setting the link register makes the transfer a call.
+func linkKind(lk bool) BranchKind {
+	if lk {
+		return BranchCall
+	}
+	return BranchJump
 }
 
 // regOrZero implements the RA=0-means-zero convention of addi/addis and

@@ -547,3 +547,90 @@ func TestCStringReads(t *testing.T) {
 		t.Fatal("unterminated string not detected")
 	}
 }
+
+func TestTraceStepBranchClassification(t *testing.T) {
+	// main calls leaf twice and exits; TraceStep must fire once per step
+	// (conservation: deliveries == Stats.Steps) and classify the taken
+	// transfers: bl = call, blr = return, b = jump.
+	b := program.NewBuilder("branches")
+	main := b.Func("main")
+	main.Emit(ppc.Li(3, 0))
+	main.Call("leaf")
+	main.Branch(ppc.B(0), "tail")
+	main.Label("tail")
+	main.Call("leaf")
+	emitExit(main)
+	leaf := b.Func("leaf")
+	leaf.Emit(ppc.Addi(3, 3, 1))
+	leaf.Emit(ppc.Blr())
+
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	cpu, err := NewForProgram(p)
+	if err != nil {
+		t.Fatalf("NewForProgram: %v", err)
+	}
+	var steps int64
+	counts := map[BranchKind]int{}
+	cpu.TraceStep = func(si StepInfo) {
+		steps++
+		counts[si.Branch]++
+		if si.Branch != BranchNone && si.Target == 0 {
+			t.Errorf("step at %#x: taken %v with zero target", si.CIA, si.Branch)
+		}
+	}
+	if _, err := cpu.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if steps != cpu.Stats.Steps {
+		t.Fatalf("TraceStep fired %d times, Stats.Steps %d", steps, cpu.Stats.Steps)
+	}
+	want := map[BranchKind]int{BranchCall: 2, BranchReturn: 2, BranchJump: 1}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("branch kind %v seen %d times, want %d", k, counts[k], n)
+		}
+	}
+	if counts[BranchCall]+counts[BranchReturn]+counts[BranchJump] != int(cpu.Stats.TakenBranches) {
+		t.Errorf("classified %d transfers, TakenBranches %d", counts[BranchCall]+counts[BranchReturn]+counts[BranchJump], cpu.Stats.TakenBranches)
+	}
+}
+
+func TestTraceStepCountedBranchAndCtr(t *testing.T) {
+	// bdnz is a taken jump while the counter runs, a non-branch on exit;
+	// the jump-table dispatch ends in bctr, also a jump (no link).
+	b := program.NewBuilder("ctr")
+	main := b.Func("main")
+	main.Emit(ppc.Li(3, 3))
+	main.Emit(ppc.Mtctr(3))
+	main.Label("loop")
+	main.Branch(ppc.Bdnz(0), "loop")
+	main.Emit(ppc.Li(3, 0))
+	main.JumpTable(3, 11, 12, []string{"done"})
+	main.Label("done")
+	emitExit(main)
+
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	cpu, err := NewForProgram(p)
+	if err != nil {
+		t.Fatalf("NewForProgram: %v", err)
+	}
+	counts := map[BranchKind]int{}
+	cpu.TraceStep = func(si StepInfo) { counts[si.Branch]++ }
+	if _, err := cpu.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// bdnz takes twice (ctr 3→2→1, falls through on the third execution);
+	// the table dispatch's bctr takes once. None of them link.
+	if counts[BranchJump] != 3 {
+		t.Errorf("jumps %d, want 3 (2 bdnz + 1 bctr)", counts[BranchJump])
+	}
+	if counts[BranchCall] != 0 || counts[BranchReturn] != 0 {
+		t.Errorf("calls %d returns %d, want 0 each", counts[BranchCall], counts[BranchReturn])
+	}
+}

@@ -293,6 +293,12 @@ func WriteImage(dst io.Writer, img *core.Image) error {
 	} {
 		w.u32(uint32(v))
 	}
+	w.u32(img.TextBase)
+	w.u32(uint32(len(img.OrigSymbols)))
+	for _, s := range img.OrigSymbols {
+		w.str(s.Name)
+		w.u32(uint32(s.Word))
+	}
 	if w.err != nil {
 		return w.err
 	}
@@ -357,6 +363,12 @@ func ReadImage(src io.Reader) (*core.Image, error) {
 		&img.Stats.CodewordBits, &img.Stats.EscapeBits, &img.Stats.RawBits,
 	} {
 		*dst = int(r.u32())
+	}
+	img.TextBase = r.u32()
+	nosym := int(r.u32())
+	for i := 0; i < nosym && r.err == nil; i++ {
+		name := r.str()
+		img.OrigSymbols = append(img.OrigSymbols, program.Symbol{Name: name, Word: int(r.u32())})
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -2,6 +2,7 @@ package objfile
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/codeword"
@@ -74,6 +75,14 @@ func TestImageRoundTrip(t *testing.T) {
 	}
 	if q.Stats != img.Stats {
 		t.Fatalf("stats differ: %+v vs %+v", q.Stats, img.Stats)
+	}
+	if q.TextBase != img.TextBase || !reflect.DeepEqual(q.OrigSymbols, img.OrigSymbols) {
+		t.Fatal("symbolization sideband differs")
+	}
+	// The round-tripped image must remain symbolizable: the guest profiler
+	// depends on marks, text base and original symbols all surviving disk.
+	if _, err := q.GuestSymTab(); err != nil {
+		t.Fatalf("GuestSymTab after round trip: %v", err)
 	}
 	// The deserialized image must still verify against the original and
 	// still execute equivalently.

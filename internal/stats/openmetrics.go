@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteOpenMetrics renders a snapshot in the OpenMetrics / Prometheus text
+// exposition format, so the experiment engine's counters, phase timers and
+// histograms scrape straight into standard tooling:
+//
+//   - counters become "<name>_total"
+//   - phases become a seconds counter "<name>_seconds_total" plus an
+//     invocation counter "<name>_invocations_total"
+//   - histograms become cumulative "<name>_bucket{le=...}" series with
+//     _sum and _count, plus p50/p90/p99 gauges interpolated from the
+//     log2 buckets
+//
+// Metric names are the recorder's dotted keys sanitized to the metric
+// charset (dots and other separators map to underscores). Families are
+// emitted in sorted name order and series in ascending le order, so output
+// is deterministic for any snapshot. The stream ends with "# EOF" per the
+// OpenMetrics spec.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := metricName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := s.Phases[k]
+		n := metricName(k)
+		fmt.Fprintf(&b, "# TYPE %s_seconds_total counter\n%s_seconds_total %g\n",
+			n, n, float64(p.Nanos)/1e9)
+		fmt.Fprintf(&b, "# TYPE %s_invocations_total counter\n%s_invocations_total %d\n",
+			n, n, p.Count)
+	}
+
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Hists[k]
+		n := metricName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bk.Hi, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		for _, q := range []struct {
+			p string
+			v int64
+		}{{"p50", h.P50}, {"p90", h.P90}, {"p99", h.P99}} {
+			fmt.Fprintf(&b, "# TYPE %s_%s gauge\n%s_%s %d\n", n, q.p, n, q.p, q.v)
+		}
+	}
+
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// metricName sanitizes a recorder key to the metric-name charset
+// [a-zA-Z0-9_]; every run of other characters collapses to one underscore.
+func metricName(key string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, r := range key {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && b.Len() > 0)
+		if !ok {
+			pendingSep = b.Len() > 0
+			continue
+		}
+		if pendingSep {
+			b.WriteByte('_')
+			pendingSep = false
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "metric"
+	}
+	return b.String()
+}

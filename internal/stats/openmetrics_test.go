@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r := New()
+	r.Add("dict.candidates", 42)
+	r.Add("machine.steps", 1000)
+	r.Observe("core.compress", 1500*time.Millisecond)
+	r.Observe("core.compress", 500*time.Millisecond)
+	for _, v := range []int64{1, 2, 3, 4, 8, 100} {
+		r.ObserveValue("dict.selection_bits", v)
+	}
+
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, r.Snapshot()); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	const want = `# TYPE dict_candidates_total counter
+dict_candidates_total 42
+# TYPE machine_steps_total counter
+machine_steps_total 1000
+# TYPE core_compress_seconds_total counter
+core_compress_seconds_total 2
+# TYPE core_compress_invocations_total counter
+core_compress_invocations_total 2
+# TYPE dict_selection_bits histogram
+dict_selection_bits_bucket{le="1"} 1
+dict_selection_bits_bucket{le="3"} 3
+dict_selection_bits_bucket{le="7"} 4
+dict_selection_bits_bucket{le="15"} 5
+dict_selection_bits_bucket{le="127"} 6
+dict_selection_bits_bucket{le="+Inf"} 6
+dict_selection_bits_sum 118
+dict_selection_bits_count 6
+# TYPE dict_selection_bits_p50 gauge
+dict_selection_bits_p50 3
+# TYPE dict_selection_bits_p90 gauge
+dict_selection_bits_p90 15
+# TYPE dict_selection_bits_p99 gauge
+dict_selection_bits_p99 15
+# EOF
+`
+	if sb.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteOpenMetricsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, Snapshot{}); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	if sb.String() != "# EOF\n" {
+		t.Errorf("empty snapshot output %q", sb.String())
+	}
+	// A nil recorder's snapshot exports the same way.
+	var r *Recorder
+	sb.Reset()
+	if err := WriteOpenMetrics(&sb, r.Snapshot()); err != nil {
+		t.Fatalf("WriteOpenMetrics(nil snapshot): %v", err)
+	}
+	if sb.String() != "# EOF\n" {
+		t.Errorf("nil recorder output %q", sb.String())
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"dict.selection_bits": "dict_selection_bits",
+		"machine.steps":       "machine_steps",
+		"a..b":                "a_b",
+		"9lives":              "lives", // leading digit is not a valid start
+		"":                    "metric",
+		"...":                 "metric",
+		"corpus.rows/sec":     "corpus_rows_sec",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

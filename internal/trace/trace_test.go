@@ -183,3 +183,38 @@ func TestConcurrentCollector(t *testing.T) {
 		t.Fatalf("spans = %d, want %d", got, want)
 	}
 }
+
+func TestWriteChromeEmptyTracer(t *testing.T) {
+	// A live tracer that collected no spans must still write a loadable
+	// document: an empty traceEvents array, not null and not an error.
+	tr := New()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Unit        string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents serialized as null; Chrome rejects that")
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("unexpected events: %s", buf.Bytes())
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.Unit)
+	}
+
+	// WriteTree on the same empty tracer writes nothing but succeeds.
+	buf.Reset()
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		t.Fatalf("WriteTree output %q", buf.String())
+	}
+}
