@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff check bench bench-json
+.PHONY: all build vet test race smoke diff check bench bench-json bench-diff sizeaudit
 
 all: check
 
@@ -41,3 +41,14 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
 	@echo wrote BENCH_dictionary.json
+
+# Compare a fresh bench-json run against the committed trajectory.
+# Usage: make bench-diff NEW=BENCH_new.json [THRESHOLD=30]
+THRESHOLD ?= 30
+bench-diff:
+	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) BENCH_dictionary.json $(NEW)
+
+# Byte-provenance table (stdout) plus per-benchmark JSON/CSV/folded
+# audit files under audits/.
+sizeaudit:
+	$(GO) run ./cmd/experiments -run sizeaudit -sizeaudit audits

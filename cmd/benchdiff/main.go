@@ -1,0 +1,122 @@
+// Command benchdiff compares two BENCH_*.json trajectory files and
+// reports per-benchmark deltas: ns/op always, plus every custom metric
+// (compression ratios, steps/op, the selbits/explen histogram quantiles)
+// the two sides share. With -threshold it becomes a regression gate,
+// exiting 1 when any metric grew by more than the given percentage —
+// every tracked metric is a cost, so growth is always the bad direction.
+//
+//	benchdiff old.json new.json              # report only
+//	benchdiff -threshold 20 old.json new.json # fail on >20% regressions
+//
+// Appeared/disappeared benchmarks are reported but never fail the gate:
+// renames and new coverage are routine; silently comparing nothing is the
+// failure mode this tool exists to prevent, so two reports with no
+// benchmark in common do exit 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent; 0 disables the gate")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, threshold float64) error {
+	oldRep, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	cmp := benchfmt.Compare(oldRep, newRep)
+	if len(cmp.Deltas) == 0 {
+		return fmt.Errorf("%s and %s share no benchmarks", oldPath, newPath)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s\n", oldPath, newPath)
+	rows := [][]string{{"benchmark", "metric", "old", "new", "delta"}}
+	for _, d := range cmp.Deltas {
+		rows = append(rows, []string{
+			d.Bench, d.Metric, num(d.Old), num(d.New), fmt.Sprintf("%+.1f%%", d.Pct()),
+		})
+	}
+	printAligned(rows)
+	for _, n := range cmp.OldOnly {
+		fmt.Printf("only in %s: %s\n", oldPath, n)
+	}
+	for _, n := range cmp.NewOnly {
+		fmt.Printf("only in %s: %s\n", newPath, n)
+	}
+
+	if threshold > 0 {
+		regs := cmp.Regressions(threshold)
+		if len(regs) > 0 {
+			fmt.Printf("\n%d metric(s) regressed beyond %.1f%%:\n", len(regs), threshold)
+			for _, d := range regs {
+				fmt.Printf("  %s %s: %s -> %s (%+.1f%%)\n",
+					d.Bench, d.Metric, num(d.Old), num(d.New), d.Pct())
+			}
+			return fmt.Errorf("regression threshold exceeded")
+		}
+		fmt.Printf("\nno metric regressed beyond %.1f%%\n", threshold)
+	}
+	return nil
+}
+
+// num renders a metric value compactly: integers without a fraction,
+// everything else with enough digits to see small movements.
+func num(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// printAligned renders rows as left-aligned columns two spaces apart.
+func printAligned(rows [][]string) {
+	width := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for _, r := range rows {
+		var sb strings.Builder
+		for i, cell := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(r)-1 {
+				sb.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+			}
+		}
+		fmt.Println(sb.String())
+	}
+}

@@ -9,6 +9,7 @@
 //
 // It fails (exit 1) when no benchmark lines are found, so an empty or
 // broken bench run can never silently overwrite a trajectory file.
+// The schema and parser live in internal/benchfmt, shared with benchdiff.
 package main
 
 import (
@@ -16,32 +17,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the file layout.
-type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
 func main() {
-	rep, err := parse(bufio.NewScanner(os.Stdin))
+	rep, err := benchfmt.Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -52,72 +33,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-func parse(sc *bufio.Scanner) (*Report, error) {
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	rep := &Report{}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			b, err := parseBench(line)
-			if err != nil {
-				return nil, fmt.Errorf("%q: %w", line, err)
-			}
-			rep.Benchmarks = append(rep.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(rep.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no benchmark result lines on stdin")
-	}
-	return rep, nil
-}
-
-// parseBench parses one result line: name, iteration count, then
-// (value, unit) pairs.
-func parseBench(line string) (Benchmark, error) {
-	f := strings.Fields(line)
-	if len(f) < 4 || len(f)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("malformed result line")
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, fmt.Errorf("iterations: %w", err)
-	}
-	b := Benchmark{Name: f[0], Iterations: iters}
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return Benchmark{}, fmt.Errorf("value %q: %w", f[i], err)
-		}
-		// v is re-declared each iteration, so taking its address is safe.
-		switch f[i+1] {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = &v
-		case "allocs/op":
-			b.AllocsPerOp = &v
-		case "MB/s":
-			b.MBPerSec = &v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[f[i+1]] = v
-		}
-	}
-	return b, nil
 }

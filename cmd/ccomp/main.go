@@ -5,6 +5,8 @@
 //
 //	ccomp -scheme nibble -o prog.ppz prog.ppx
 //	ccomp -scheme baseline -entries 1024 -entrylen 8 prog.ppx
+//	ccomp -scheme nibble -audit prog.ppx       # per-function byte provenance
+//	ccomp -scheme nibble -auditdiff prog.ppx   # per-function delta vs native
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/objfile"
+	"repro/internal/sizeaudit"
 )
 
 func main() {
@@ -23,6 +26,8 @@ func main() {
 	entries := flag.Int("entries", 0, "dictionary entry budget (0 = scheme maximum)")
 	entryLen := flag.Int("entrylen", 4, "maximum instructions per dictionary entry")
 	out := flag.String("o", "", "output .ppz path (default: input with .ppz suffix)")
+	audit := flag.Bool("audit", false, "print the byte-provenance audit: every compressed byte attributed to its source function and overhead class")
+	auditDiff := flag.Bool("auditdiff", false, "print per-function size deltas, native vs compressed")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,8 +50,12 @@ func main() {
 		fatal(err)
 	}
 
+	var em *sizeaudit.Emitter
+	if *audit || *auditDiff {
+		em = sizeaudit.NewProgramEmitter(p)
+	}
 	img, err := core.Compress(p.Clone(), core.Options{
-		Scheme: scheme, MaxEntries: *entries, MaxEntryLen: *entryLen,
+		Scheme: scheme, MaxEntries: *entries, MaxEntryLen: *entryLen, Audit: em,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,6 +89,24 @@ func main() {
 	fmt.Printf("  codewords %d (covering %d instructions), raw %d, far-branch stubs %d\n",
 		st.CodewordItems, st.CoveredInsns, st.RawItems, st.StubBranches)
 	fmt.Printf("  verified: structural equivalence OK -> %s\n", dst)
+
+	if em != nil {
+		a := em.Finish(p.Name, img.Scheme.String(), img.CompressedBytes(), img.OriginalBytes)
+		if err := a.Check(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *audit {
+			if err := a.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *auditDiff {
+			if err := sizeaudit.Diff(sizeaudit.AuditProgram(p), a).WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //	ccrun -cache 1024 -profile run.json prog.ppz   # JSON execution profile
 //	ccrun -guestprof prog.ppz                      # per-function cycle table
 //	ccrun -guestprof -folded out.folded prog.ppz   # flamegraph input
+//	ccrun -sizeaudit prog.ppz                      # static byte-provenance audit
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/objfile"
 	"repro/internal/ppc"
+	"repro/internal/sizeaudit"
 	"repro/internal/stats"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	profile := flag.String("profile", "", "write a JSON execution profile (hot dictionary entries, expansion histogram, cache miss curve) to this path; \"-\" means stdout")
 	sample := flag.Int64("sample", 4096, "with -profile and -cache, record a cache miss-curve point every N line accesses")
 	guestProf := flag.Bool("guestprof", false, "attribute cycles to guest functions (exact, symbolized); prints a top-20 table to stderr and adds a \"guest\" section to -profile output")
+	sizeAudit := flag.Bool("sizeaudit", false, "for .ppz inputs: print the image's byte-provenance audit to stderr and add a \"size\" section to -profile output")
 	folded := flag.String("folded", "", "with -guestprof, write folded call stacks (flamegraph input) to this path; \"-\" means stdout")
 	topN := flag.Int("top", 20, "with -guestprof, rows in the per-function table (0 = all)")
 	flag.Parse()
@@ -52,12 +55,20 @@ func main() {
 	var cpu *machine.CPU
 	var img *core.Image
 	var sym *guestprof.SymTab
+	var sa *sizeaudit.Audit
 	wantGuest := *guestProf || *folded != ""
 	switch {
 	case strings.HasSuffix(path, ".ppz"):
 		img, err = objfile.ReadImage(f)
 		if err != nil {
 			fatal(err)
+		}
+		if *sizeAudit {
+			// The audit reconstructs from the image's marks — the .ppz
+			// round-trips them — so no recompression is needed.
+			if sa, err = img.SizeAudit(); err != nil {
+				fatal(err)
+			}
 		}
 		cpu, err = core.NewMachine(img)
 		if err != nil {
@@ -74,6 +85,9 @@ func main() {
 		p, err := objfile.ReadProgram(f)
 		if err != nil {
 			fatal(err)
+		}
+		if *sizeAudit {
+			fatal(fmt.Errorf("-sizeaudit needs a compressed .ppz image; %s is uncompressed", path))
 		}
 		cpu, err = machine.NewForProgram(p)
 		if err != nil {
@@ -142,6 +156,13 @@ func main() {
 			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
 	}
 
+	if sa != nil {
+		fmt.Fprintln(os.Stderr)
+		if err := sa.WriteTable(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+
 	var guest *guestprof.Profile
 	if gp != nil {
 		guest = gp.Profile(path)
@@ -168,6 +189,7 @@ func main() {
 			prof.Name = path
 		}
 		prof.Guest = guest
+		prof.Size = sa
 		if err := writeProfile(*profile, prof); err != nil {
 			fatal(err)
 		}

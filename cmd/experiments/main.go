@@ -12,6 +12,7 @@
 //	experiments -trace out.json  # write a Chrome trace-event file of the run
 //	experiments -pprof :6060     # serve net/http/pprof, live counters, /metrics
 //	experiments -guestprof dir/  # paired native/compressed guest profiles per benchmark
+//	experiments -sizeaudit dir/  # per-encoding byte-provenance audits per benchmark
 //
 // Output is deterministic at every -parallel setting. The process exits
 // non-zero if any experiment fails.
@@ -68,6 +69,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the live stats snapshot (expvar \"stats\") on this address, e.g. :6060")
 	guestDir := flag.String("guestprof", "", "write paired native/compressed guest profiles (JSON + folded flamegraph stacks) for every benchmark into this directory")
+	auditDir := flag.String("sizeaudit", "", "write per-encoding byte-provenance audits (JSON + CSV + folded) for every benchmark into this directory")
 	flag.Parse()
 
 	if *list {
@@ -133,6 +135,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote guest profile pairs to %s\n", *guestDir)
+	}
+	if *auditDir != "" && runErr == nil {
+		if err := bench.WriteSizeAudits(corpus, *auditDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: size audits: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote size audits to %s\n", *auditDir)
 	}
 	if tracer != nil {
 		if err := writeTrace(*traceOut, tracer); err != nil {

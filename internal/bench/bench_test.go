@@ -47,7 +47,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig8", "fig9", "fig11", "table3", "baselines", "icache", "penalty",
 		"ablation-selection", "ablation-alignment",
 		"standardize", "dictplace", "cycles", "profiled", "regalloc", "refill", "shared", "crossover", "scaling",
-		"guestprof"}
+		"guestprof", "sizeaudit"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing", id)
@@ -384,6 +384,47 @@ func TestRegallocScrambleHurts(t *testing.T) {
 	for _, row := range tab.Rows {
 		if cell(t, row[3]) <= 0 {
 			t.Errorf("%s: scrambled allocation did not hurt compression", row[0])
+		}
+	}
+}
+
+func TestSizeAuditShape(t *testing.T) {
+	tab := runExp(t, "sizeaudit")
+	if len(tab.Rows) != len(sharedCorpus.Names())*len(AuditEncodings) {
+		t.Fatalf("%d rows, want %d benchmarks x %d encodings",
+			len(tab.Rows), len(sharedCorpus.Names()), len(AuditEncodings))
+	}
+	for _, row := range tab.Rows {
+		// Class shares must partition the image: the runner conservation-
+		// checks every audit in bits, so the rendered row sums to ~100%
+		// within rounding of the seven printed cells.
+		sum := 0.0
+		for _, c := range row[4:] {
+			sum += cell(t, c)
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("%s/%s: class shares sum to %v%%", row[0], row[1], sum)
+		}
+		ratio := cell(t, row[3])
+		if ratio <= 0 || ratio >= 1.0 {
+			t.Errorf("%s/%s: ratio %v did not compress", row[0], row[1], ratio)
+		}
+	}
+	// The dictionary schemes must surface dictionary storage; CCRP its
+	// tables; LZW has neither a stub nor a header class.
+	for _, row := range tab.Rows {
+		enc := row[1]
+		dict := cell(t, row[8])
+		tbl := cell(t, row[9])
+		switch enc {
+		case "baseline", "onebyte", "nibble", "liao":
+			if dict <= 0 {
+				t.Errorf("%s/%s: dictionary share %v not positive", row[0], enc, dict)
+			}
+		case "ccrp":
+			if tbl <= 0 {
+				t.Errorf("%s/%s: table share %v not positive (LAT + code table)", row[0], enc, tbl)
+			}
 		}
 	}
 }

@@ -381,7 +381,7 @@ func Fig11(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		lr := lzw.Ratio(p.TextBytes())
+		lr := lzw.RatioRecorded(p.TextBytes(), c.Recorder())
 		return []string{name, ratioStr(img.Ratio()), ratioStr(lr),
 			fmt.Sprintf("%+.1fpp", 100*(img.Ratio()-lr))}, nil
 	})
@@ -427,7 +427,6 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 			"because single instructions cannot profit from 32-bit codewords (§2.4); " +
 			"thumb16 is the §2.2 fixed-16-bit re-encoding model (optimistic for Thumb)",
 	}
-	model := huffman.DefaultCCRP()
 	names := c.Names()
 	err := rowsInOrder(c, t, len(names), func(i int) ([]string, error) {
 		name := names[i]
@@ -435,6 +434,8 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		model := huffman.DefaultCCRP()
+		model.Stats = c.Recorder() // per-row copy: Stats must not race across rows
 		row := []string{name}
 		for _, s := range []codeword.Scheme{codeword.Baseline, codeword.Nibble, codeword.Liao} {
 			img, err := c.Image(name, core.Options{Scheme: s, MaxEntryLen: 4})
@@ -447,7 +448,7 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return append(row, ratioStr(cc.Ratio()), ratioStr(lzw.Ratio(p.TextBytes())),
+		return append(row, ratioStr(cc.Ratio()), ratioStr(lzw.RatioRecorded(p.TextBytes(), c.Recorder())),
 			ratioStr(thumb.Analyze(p).Ratio())), nil
 	})
 	if err != nil {

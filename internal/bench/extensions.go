@@ -265,7 +265,9 @@ func ExtRefill(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cimg, err := huffman.BuildCCRPImage(p, huffman.DefaultCCRP())
+		ccfg := huffman.DefaultCCRP()
+		ccfg.Stats = c.Recorder()
+		cimg, err := huffman.BuildCCRPImage(p, ccfg)
 		if err != nil {
 			return nil, err
 		}

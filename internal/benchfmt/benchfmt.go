@@ -1,0 +1,209 @@
+// Package benchfmt owns the repository's BENCH_*.json trajectory format:
+// parsing `go test -bench` output into it (command benchjson) and
+// comparing two trajectory files (command benchdiff). Keeping the schema
+// in one package means the writer and the regression gate can never
+// drift apart.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the named benchmark.
+func (r *Report) Find(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ReadFile loads a BENCH_*.json report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Parse converts `go test -bench` output into a report. It fails when no
+// benchmark lines are found, so an empty or broken bench run can never
+// silently produce an empty trajectory file.
+func Parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return rep, nil
+}
+
+// parseBench parses one result line: name, iteration count, then
+// (value, unit) pairs.
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed result line")
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		// v is re-declared each iteration, so taking its address is safe.
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerSec = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	return b, nil
+}
+
+// MetricDelta is one measurement's movement between two reports.
+type MetricDelta struct {
+	Bench  string  // benchmark name
+	Metric string  // "ns/op" or a custom metric name
+	Old    float64 // value in the old report
+	New    float64 // value in the new report
+}
+
+// Pct is the relative change in percent; +Inf-free: a zero old value with
+// a nonzero new value reports 100%.
+func (d MetricDelta) Pct() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (d.New - d.Old) / d.Old
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	Deltas  []MetricDelta // benchmarks present in both, in old-report order
+	OldOnly []string      // benchmarks that disappeared
+	NewOnly []string      // benchmarks that appeared
+}
+
+// Compare matches benchmarks by name and computes per-metric deltas:
+// ns/op always, then every custom metric the two sides share (quantiles
+// like selbits-p99), sorted by metric name within a benchmark.
+func Compare(old, new *Report) *Comparison {
+	c := &Comparison{}
+	newNames := map[string]bool{}
+	for _, b := range new.Benchmarks {
+		newNames[b.Name] = true
+	}
+	for _, ob := range old.Benchmarks {
+		nb, ok := new.Find(ob.Name)
+		if !ok {
+			c.OldOnly = append(c.OldOnly, ob.Name)
+			continue
+		}
+		c.Deltas = append(c.Deltas, MetricDelta{
+			Bench: ob.Name, Metric: "ns/op", Old: ob.NsPerOp, New: nb.NsPerOp,
+		})
+		shared := make([]string, 0, len(ob.Metrics))
+		for m := range ob.Metrics {
+			if _, ok := nb.Metrics[m]; ok {
+				shared = append(shared, m)
+			}
+		}
+		sort.Strings(shared)
+		for _, m := range shared {
+			c.Deltas = append(c.Deltas, MetricDelta{
+				Bench: ob.Name, Metric: m, Old: ob.Metrics[m], New: nb.Metrics[m],
+			})
+		}
+	}
+	for _, nb := range new.Benchmarks {
+		if _, ok := old.Find(nb.Name); !ok {
+			c.NewOnly = append(c.NewOnly, nb.Name)
+		}
+	}
+	return c
+}
+
+// Regressions returns the deltas whose value grew by more than threshold
+// percent. All tracked metrics are costs (time, bytes, quantile sizes),
+// so growth is always the bad direction.
+func (c *Comparison) Regressions(threshold float64) []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Pct() > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package benchfmt
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Testing CPU
+BenchmarkCompressNibble/go-8         	      10	 123456789 ns/op	       0.450 ratio	  1024 B/op	      12 allocs/op
+BenchmarkDictionary/gcc-8            	       5	 987654321 ns/op	      55.00 selbits-p99
+PASS
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParse(t *testing.T) {
+	rep := parseSample(t)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU != "Testing CPU" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkCompressNibble/go-8" || b.Iterations != 10 || b.NsPerOp != 123456789 {
+		t.Fatalf("bench 0: %+v", b)
+	}
+	if b.Metrics["ratio"] != 0.45 || b.BytesPerOp == nil || *b.BytesPerOp != 1024 {
+		t.Fatalf("bench 0 metrics: %+v", b)
+	}
+	if rep.Benchmarks[1].Metrics["selbits-p99"] != 55 {
+		t.Fatalf("bench 1 metrics: %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := parseSample(t)
+	newer := parseSample(t)
+	newer.Benchmarks[0].NsPerOp *= 1.5                // 50% slower
+	newer.Benchmarks[1].Metrics["selbits-p99"] = 44   // improved
+	newer.Benchmarks[1].Name = "BenchmarkRenamed/x-8" // disappeared + appeared
+
+	c := Compare(old, newer)
+	if len(c.OldOnly) != 1 || len(c.NewOnly) != 1 {
+		t.Fatalf("only-lists: %+v", c)
+	}
+	// Matched benchmark: ns/op and the shared ratio metric.
+	var ns, ratio *MetricDelta
+	for i := range c.Deltas {
+		d := &c.Deltas[i]
+		if d.Bench != "BenchmarkCompressNibble/go-8" {
+			t.Fatalf("unexpected delta %+v", d)
+		}
+		switch d.Metric {
+		case "ns/op":
+			ns = d
+		case "ratio":
+			ratio = d
+		}
+	}
+	if ns == nil || ratio == nil {
+		t.Fatalf("missing deltas: %+v", c.Deltas)
+	}
+	if pct := ns.Pct(); pct < 49.9 || pct > 50.1 {
+		t.Fatalf("ns/op pct %v", pct)
+	}
+	if ratio.Pct() != 0 {
+		t.Fatalf("ratio pct %v", ratio.Pct())
+	}
+
+	if regs := c.Regressions(20); len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regressions(20): %+v", regs)
+	}
+	if regs := c.Regressions(60); len(regs) != 0 {
+		t.Fatalf("regressions(60): %+v", regs)
+	}
+}
+
+func TestMetricDeltaPctZeroOld(t *testing.T) {
+	if p := (MetricDelta{Old: 0, New: 5}).Pct(); p != 100 {
+		t.Fatalf("pct from zero = %v", p)
+	}
+	if p := (MetricDelta{Old: 0, New: 0}).Pct(); p != 0 {
+		t.Fatalf("pct zero/zero = %v", p)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/ppc"
 	"repro/internal/program"
+	"repro/internal/sizeaudit"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -64,6 +65,13 @@ type Options struct {
 	// the dictionary build's own phase spans below core.build. Like
 	// Stats, it never affects the produced image.
 	Trace *trace.Span
+
+	// Audit, when non-nil, receives one byte-provenance record per emitted
+	// stream item plus the stream padding, dictionary storage and header —
+	// the size-attribution sideband behind ccomp -audit. Like Stats it is
+	// nil-safe and never affects the produced image; callers Finish it with
+	// the image's CompressedBytes after Compress returns.
+	Audit *sizeaudit.Emitter
 }
 
 // Normalized resolves the option defaults: MaxEntryLen 0 becomes the
@@ -337,7 +345,7 @@ func assemble(p *program.Program, opt Options, res *dictionary.Result, rank rera
 		stopEncode()
 		return nil, err
 	}
-	err = emit(img, p, res.Items, rank.of, lay)
+	err = emit(img, p, res.Items, rank.of, lay, opt)
 	spEncode.End()
 	stopEncode()
 	if err != nil {
@@ -373,6 +381,12 @@ func assemble(p *program.Program, opt Options, res *dictionary.Result, rank rera
 
 	img.DictionaryBytes = codeword.DictBytes(entryLens(img.Entries))
 	img.Stats.CoveredInsns = res.CoveredInsns
+	// The dictionary's serialized storage and fixed header are overhead no
+	// single function owns; they complete the audit's accounting of
+	// CompressedBytes (stream + dictionary).
+	opt.Audit.Global(sizeaudit.Dict, sizeaudit.DictRow,
+		int64(img.DictionaryBytes-codeword.DictHeaderBytes)*8)
+	opt.Audit.Global(sizeaudit.Header, sizeaudit.HeaderRow, int64(codeword.DictHeaderBytes)*8)
 	return img, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/ppc"
 	"repro/internal/program"
+	"repro/internal/sizeaudit"
 )
 
 // stub shape: a far conditional branch becomes
@@ -113,8 +114,8 @@ func layout(p *program.Program, an *program.Analysis, items []dictionary.Item,
 }
 
 // emit writes the stream, patching branch fields and expanding stubs, and
-// fills marks and stats.
-func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int, lay *layoutResult) error {
+// fills marks, stats and the byte-provenance audit.
+func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int, lay *layoutResult, opt Options) error {
 	an, err := program.Analyze(p)
 	if err != nil {
 		return err
@@ -122,6 +123,7 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 	scheme := img.Scheme
 	w := codeword.NewWriter(scheme)
 	rawBitsPer := scheme.RawInsnUnits() * scheme.UnitBits()
+	var stubBits int64
 	for ii, it := range items {
 		if w.Units() != lay.itemUnit[ii] {
 			return fmt.Errorf("core: layout drift at item %d: %d != %d", ii, w.Units(), lay.itemUnit[ii])
@@ -137,6 +139,7 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 			img.Stats.CodewordItems++
 			img.Stats.CodewordBits += scheme.CodewordBits(rank)
 			img.Stats.EscapeBits += escapeBits(scheme)
+			opt.Audit.AtWord(sizeaudit.Codeword, it.OrigIdx, int64(scheme.CodewordBits(rank)))
 
 		case ppc.IsRelativeBranch(it.Word):
 			target := an.Target[it.OrigIdx]
@@ -149,6 +152,8 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 				img.Stats.StubBranches++
 				img.Stats.RawItems += stubLen(it.Word)
 				img.Stats.RawBits += stubLen(it.Word) * rawBitsPer
+				opt.Audit.AtWord(sizeaudit.Stub, it.OrigIdx, int64(stubLen(it.Word)*rawBitsPer))
+				stubBits += int64(stubLen(it.Word) * rawBitsPer)
 				break
 			}
 			field := int32(tu - lay.itemUnit[ii])
@@ -162,6 +167,7 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkBranch})
 			img.Stats.RawItems++
 			img.Stats.RawBits += rawBitsPer
+			opt.Audit.AtWord(sizeaudit.Raw, it.OrigIdx, int64(rawBitsPer))
 
 		default:
 			if err := w.Raw(it.Word); err != nil {
@@ -170,6 +176,7 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkRaw})
 			img.Stats.RawItems++
 			img.Stats.RawBits += rawBitsPer
+			opt.Audit.AtWord(sizeaudit.Raw, it.OrigIdx, int64(rawBitsPer))
 		}
 	}
 	if w.Units() != lay.units {
@@ -178,6 +185,17 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 	img.Stream = w.Bytes()
 	img.Units = w.Units()
 	img.StreamBytes = w.SizeBytes()
+	// Final alignment padding (the nibble scheme's half-byte round-up; zero
+	// for byte-granular schemes) completes the stream accounting.
+	opt.Audit.Global(sizeaudit.Padding, sizeaudit.PadRow,
+		int64(img.StreamBytes*8-img.Units*scheme.UnitBits()))
+	// The Liao comparator's codewords model dictionary calls, so its
+	// far-branch machinery is call-stub overhead worth a dedicated counter
+	// (the paper's §2.4 criticism quantified); mirror the dictionary
+	// builder's convention of materializing the counter even at zero.
+	if scheme == codeword.Liao {
+		opt.Stats.Add("calldict.stub_bytes", stubBits/8)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/guestprof"
 	"repro/internal/machine"
 	"repro/internal/ppc"
+	"repro/internal/sizeaudit"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,10 @@ type RunProfile struct {
 	// Guest is the symbolized per-function guest profile, present when a
 	// guestprof.Profiler was attached to the run (ccrun -guestprof).
 	Guest *guestprof.Profile `json:"guest,omitempty"`
+
+	// Size is the static byte-provenance audit of the image being run,
+	// present when requested (ccrun -sizeaudit) and the image carries marks.
+	Size *sizeaudit.Audit `json:"size,omitempty"`
 }
 
 // HotEntriesTotal sums the heat map's expansion counts.

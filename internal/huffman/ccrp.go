@@ -1,6 +1,11 @@
 package huffman
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sizeaudit"
+	"repro/internal/stats"
+)
 
 // CCRP models the Compressed Code RISC Processor [Wolfe92][Wolfe94]: a
 // single Huffman code trained on the whole program's instruction bytes
@@ -16,6 +21,18 @@ type CCRP struct {
 	// stores one full address per group of 8 lines plus short offsets,
 	// roughly 3 bytes per line.
 	LATBytesPerLine float64
+
+	// Stats, when non-nil, receives the overhead components every
+	// compression records (ccrp.lines, ccrp.raw_lines, ccrp.lat_bytes,
+	// ccrp.code_table_bytes) — the same recorder convention the dictionary
+	// builder uses, nil-safe and free when absent.
+	Stats *stats.Recorder
+
+	// Audit, when non-nil, receives per-byte provenance as lines are
+	// encoded: Huffman-coded bytes as Codeword bits (the symbol's exact
+	// code length), raw-fallback lines as Raw, per-line byte round-up as
+	// Padding, and the LAT and code-length table as Table globals.
+	Audit *sizeaudit.Emitter
 }
 
 // DefaultCCRP is the configuration used for the Ext. A comparison.
@@ -58,6 +75,7 @@ func (c CCRP) Compress(text []byte) (CCRPResult, error) {
 		OriginalBytes:  len(text),
 		CodeTableBytes: 256, // one code length byte per symbol
 	}
+	rawLines := 0
 	for off := 0; off < len(text); off += c.LineSize {
 		end := off + c.LineSize
 		if end > len(text) {
@@ -68,12 +86,24 @@ func (c CCRP) Compress(text []byte) (CCRPResult, error) {
 		bytes := (bits + 7) / 8 // pad each line to a byte boundary
 		if bytes > len(line) {
 			bytes = len(line) // a line never stored expanded (store raw)
+			rawLines++
 		}
 		res.CompressedBytes += bytes
 		res.Lines++
 	}
 	res.LATBytes = int(float64(res.Lines) * c.LATBytesPerLine)
+	c.recordStats(res, rawLines)
 	return res, nil
+}
+
+// recordStats publishes the overhead components into the attached
+// recorder; counters materialize even at zero so snapshots always carry
+// the full component set.
+func (c CCRP) recordStats(res CCRPResult, rawLines int) {
+	c.Stats.Add("ccrp.lines", int64(res.Lines))
+	c.Stats.Add("ccrp.raw_lines", int64(rawLines))
+	c.Stats.Add("ccrp.lat_bytes", int64(res.LATBytes))
+	c.Stats.Add("ccrp.code_table_bytes", int64(res.CodeTableBytes))
 }
 
 // Verify round-trips every line through the real encoder/decoder to show

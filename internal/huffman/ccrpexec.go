@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/program"
+	"repro/internal/sizeaudit"
 )
 
 // CCRPImage is an executable compressed program in the CCRP style
@@ -56,6 +57,7 @@ func BuildCCRPImage(p *program.Program, cfg CCRP) (*CCRPImage, error) {
 		OriginalBytes: p.SizeBytes(),
 		LATBytesPer:   cfg.LATBytesPerLine,
 	}
+	rawLines := 0
 	for off := 0; off < len(text); off += cfg.LineSize {
 		end := off + cfg.LineSize
 		if end > len(text) {
@@ -66,11 +68,34 @@ func BuildCCRPImage(p *program.Program, cfg CCRP) (*CCRPImage, error) {
 		if len(enc) >= len(line) {
 			img.Lines = append(img.Lines, append([]byte(nil), line...))
 			img.Raw = append(img.Raw, true)
+			rawLines++
+			for i := range line {
+				cfg.Audit.At(sizeaudit.Raw, uint32(off+i), 8)
+			}
 		} else {
 			img.Lines = append(img.Lines, enc)
 			img.Raw = append(img.Raw, false)
+			for i, b := range line {
+				cfg.Audit.At(sizeaudit.Codeword, uint32(off+i), int64(code.Lens[b]))
+			}
+			// The byte round-up at the end of the line belongs to whichever
+			// function owns the line start — close enough for a sub-byte
+			// remainder, and it keeps the accounting exact.
+			cfg.Audit.At(sizeaudit.Padding, uint32(off),
+				int64(len(enc))*8-int64(code.EncodedBits(line)))
 		}
 	}
+	latBytes := img.CompressedBytes() - 256
+	for _, l := range img.Lines {
+		latBytes -= len(l)
+	}
+	cfg.Audit.Global(sizeaudit.Table, sizeaudit.LATRow, int64(latBytes)*8)
+	cfg.Audit.Global(sizeaudit.Table, sizeaudit.CodeTableRow, 256*8)
+	cfg.recordStats(CCRPResult{
+		Lines:          len(img.Lines),
+		LATBytes:       latBytes,
+		CodeTableBytes: 256,
+	}, rawLines)
 	return img, nil
 }
 

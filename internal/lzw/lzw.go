@@ -11,6 +11,9 @@ package lzw
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/sizeaudit"
+	"repro/internal/stats"
 )
 
 const (
@@ -72,6 +75,22 @@ func (r *bitReader) read(bits uint) (uint32, error) {
 // emitting a clear code whenever the table fills and the recent
 // compression ratio worsens.
 func Compress(data []byte) []byte {
+	return compress(data, nil, nil)
+}
+
+// CompressAudited is Compress with observability attached: rec receives
+// the overhead counters (lzw.dict_resets, lzw.codes, lzw.literal_codes)
+// and em one provenance record per emitted code — string-table codes as
+// Codeword bits at the span's first input byte, single-byte literals as
+// Raw, clear codes as Dict, and the final flush round-up as Padding. Both
+// may be nil (each layer is nil-safe), and the output is byte-identical
+// to Compress.
+func CompressAudited(data []byte, rec *stats.Recorder, em *sizeaudit.Emitter) []byte {
+	return compress(data, rec, em)
+}
+
+func compress(data []byte, rec *stats.Recorder, em *sizeaudit.Emitter) []byte {
+	rec.Add("lzw.dict_resets", 0) // materialize: zero resets is a finding
 	w := &bitWriter{}
 	table := make(map[string]uint32, 1<<12)
 	reset := func() uint32 {
@@ -94,6 +113,22 @@ func Compress(data []byte) []byte {
 	lastCheck := 0
 	lastOutLen := 0
 
+	// spanStart is the input offset of cur's first byte: each emitted code
+	// covers data[spanStart:i], so its bits are attributed there.
+	var bitsWritten, codes, literals int64
+	emit := func(code, width uint32, spanStart int) {
+		w.write(code, width)
+		bitsWritten += int64(width)
+		codes++
+		cls := sizeaudit.Codeword
+		if code < clearCode {
+			cls = sizeaudit.Raw
+			literals++
+		}
+		em.At(cls, uint32(spanStart), int64(width))
+	}
+
+	spanStart := 0
 	cur := string(data[:1])
 	for i := 1; i < len(data); i++ {
 		c := data[i]
@@ -103,7 +138,7 @@ func Compress(data []byte) []byte {
 			cur = ext
 			continue
 		}
-		w.write(table[cur], bits)
+		emit(table[cur], bits, spanStart)
 		if next < 1<<maxBits {
 			table[ext] = next
 			next++
@@ -116,6 +151,9 @@ func Compress(data []byte) []byte {
 			outGrew := len(w.out) - lastOutLen
 			if outGrew > (i-lastCheck)*9/10 {
 				w.write(clearCode, bits)
+				bitsWritten += int64(bits)
+				em.Global(sizeaudit.Dict, sizeaudit.ResetRow, int64(bits))
+				rec.Add("lzw.dict_resets", 1)
 				next = reset()
 				bits = minBits
 			}
@@ -123,9 +161,14 @@ func Compress(data []byte) []byte {
 			lastOutLen = len(w.out)
 		}
 		cur = string([]byte{c})
+		spanStart = i
 	}
-	w.write(table[cur], bits)
-	return w.flush()
+	emit(table[cur], bits, spanStart)
+	out := w.flush()
+	em.Global(sizeaudit.Padding, sizeaudit.PadRow, int64(len(out))*8-bitsWritten)
+	rec.Add("lzw.codes", codes)
+	rec.Add("lzw.literal_codes", literals)
+	return out
 }
 
 // Decompress inverts Compress.
@@ -183,9 +226,12 @@ func Decompress(data []byte) ([]byte, error) {
 }
 
 // Ratio is the compressed/original size ratio for data.
-func Ratio(data []byte) float64 {
+func Ratio(data []byte) float64 { return RatioRecorded(data, nil) }
+
+// RatioRecorded is Ratio with the overhead counters published into rec.
+func RatioRecorded(data []byte, rec *stats.Recorder) float64 {
 	if len(data) == 0 {
 		return 1
 	}
-	return float64(len(Compress(data))) / float64(len(data))
+	return float64(len(compress(data, rec, nil))) / float64(len(data))
 }

@@ -1,0 +1,348 @@
+// Package sizeaudit is the static complement to the guest profiler: a
+// Bloaty-style size-attribution layer that classifies every bit of a
+// compressed image into a provenance class (codeword payload, escaped/raw
+// instruction, far-branch or call stub, alignment padding, dictionary
+// storage, address/code tables, headers) and attributes it to the original
+// guest function that produced it, via a floor search over the program's
+// symbol table. Encoders report into a nil-safe Emitter threaded like
+// stats.Recorder — zero cost when off, never affecting the produced bytes
+// — and the finished Audit carries a conservation invariant: the
+// attributed bits sum exactly to the image size, with nothing left in an
+// unknown row. Audits serialize to JSON, render as aligned tables, CSV and
+// folded (flamegraph) stacks, and diff pairwise so "native vs compressed"
+// or "encoding A vs encoding B" per-function deltas fall out directly.
+package sizeaudit
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+)
+
+// Class is a byte-provenance class: why a bit exists in the compressed
+// image.
+type Class uint8
+
+// The provenance classes. Every attributed bit carries exactly one.
+const (
+	// Codeword is encoded payload standing for original instructions: a
+	// dictionary codeword (including its escape portion) or a Huffman-coded
+	// instruction byte.
+	Codeword Class = iota
+	// Raw is an escaped or verbatim uncompressed instruction, including
+	// patched relative branches and per-instruction escape markers.
+	Raw
+	// Stub is branch-rewrite machinery: far-branch register-indirect stubs
+	// and call-dictionary stub instructions.
+	Stub
+	// Padding is alignment overhead: the nibble stream's final pad to a
+	// byte boundary, CCRP's per-line pad bits, LZW's flush padding.
+	Padding
+	// Dict is dictionary entry storage (the decompressor's table).
+	Dict
+	// Table is address/code-table overhead: CCRP's Line Address Table and
+	// Huffman code-length table.
+	Table
+	// Header is fixed serialization headers.
+	Header
+
+	numClasses = 7
+)
+
+// Classes lists every class in canonical (column) order.
+func Classes() []Class {
+	return []Class{Codeword, Raw, Stub, Padding, Dict, Table, Header}
+}
+
+// String names the class; the names are the JSON keys and table columns.
+func (c Class) String() string {
+	switch c {
+	case Codeword:
+		return "codeword"
+	case Raw:
+		return "raw"
+	case Stub:
+		return "stub"
+	case Padding:
+		return "padding"
+	case Dict:
+		return "dictionary"
+	case Table:
+		return "table"
+	case Header:
+		return "header"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// classByName inverts String for JSON decoding.
+func classByName(name string) (Class, bool) {
+	for _, c := range Classes() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Pseudo-row names for overhead that no single guest function owns. They
+// use bracket names (like guestprof's "[unknown]") so they can never
+// collide with real symbols.
+const (
+	DictRow      = "[dictionary]" // dictionary entry storage
+	HeaderRow    = "[header]"     // fixed serialization header
+	PadRow       = "[padding]"    // whole-stream alignment padding
+	LATRow       = "[lat]"        // CCRP line address table
+	CodeTableRow = "[code-table]" // Huffman code-length table
+	ResetRow     = "[dict-reset]" // LZW clear codes
+	UnknownRow   = "[unknown]"    // attribution failure; must stay empty
+)
+
+// ClassBits holds per-class bit counts. It marshals as a JSON object keyed
+// by class name, omitting zero classes.
+type ClassBits [numClasses]int64
+
+// Total sums every class.
+func (b ClassBits) Total() int64 {
+	var n int64
+	for _, v := range b {
+		n += v
+	}
+	return n
+}
+
+// MarshalJSON renders {"codeword": 123, ...} with zero classes omitted.
+func (b ClassBits) MarshalJSON() ([]byte, error) {
+	m := make(map[string]int64, numClasses)
+	for _, c := range Classes() {
+		if b[c] != 0 {
+			m[c.String()] = b[c]
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON inverts MarshalJSON; unknown keys are an error so schema
+// drift cannot pass silently.
+func (b *ClassBits) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*b = ClassBits{}
+	for name, v := range m {
+		c, ok := classByName(name)
+		if !ok {
+			return fmt.Errorf("sizeaudit: unknown class %q", name)
+		}
+		b[c] = v
+	}
+	return nil
+}
+
+// Func is one attribution target: a function name and its start offset in
+// the original text section (bytes from the start of text).
+type Func struct {
+	Name  string
+	Start uint32
+}
+
+// Emitter accumulates provenance records during encoding. All methods are
+// no-ops on a nil *Emitter, so encoders thread it unconditionally — the
+// same contract as stats.Recorder — and an Emitter never affects the bytes
+// the encoder produces. An Emitter is not safe for concurrent use; each
+// compression owns its own.
+type Emitter struct {
+	funcs  []Func      // sorted by Start
+	limit  uint32      // text size in bytes; offsets at or past it are unknown
+	rows   []ClassBits // parallel to funcs
+	global map[string]*ClassBits
+	order  []string // global row names in first-emit order
+}
+
+// NewEmitter builds an emitter over functions covering text offsets
+// [0, limit). The slice is copied and sorted by start offset.
+func NewEmitter(funcs []Func, limit uint32) *Emitter {
+	fs := append([]Func(nil), funcs...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Start < fs[j].Start })
+	return &Emitter{
+		funcs:  fs,
+		limit:  limit,
+		rows:   make([]ClassBits, len(fs)),
+		global: map[string]*ClassBits{},
+	}
+}
+
+// NewProgramEmitter builds the emitter for a linked program: one target
+// per symbol, offsets relative to the start of the text section.
+func NewProgramEmitter(p *program.Program) *Emitter {
+	funcs := make([]Func, len(p.Symbols))
+	for i, s := range p.Symbols {
+		funcs[i] = Func{Name: s.Name, Start: 4 * uint32(s.Word)}
+	}
+	return NewEmitter(funcs, uint32(4*len(p.Text)))
+}
+
+// At attributes bits of class c to the function covering the original text
+// byte offset off (floor search: the last function starting at or before
+// off). Offsets outside the text land in the unknown row, which the
+// conservation check rejects.
+func (e *Emitter) At(c Class, off uint32, bits int64) {
+	if e == nil || bits == 0 {
+		return
+	}
+	if off >= e.limit {
+		e.Global(c, UnknownRow, bits)
+		return
+	}
+	// Floor function: last start <= off.
+	i := sort.Search(len(e.funcs), func(i int) bool { return e.funcs[i].Start > off }) - 1
+	if i < 0 {
+		e.Global(c, UnknownRow, bits)
+		return
+	}
+	e.rows[i][c] += bits
+}
+
+// AtWord is At for word-granular encoders: offset = 4*word.
+func (e *Emitter) AtWord(c Class, word int, bits int64) {
+	if e == nil {
+		return
+	}
+	e.At(c, 4*uint32(word), bits)
+}
+
+// Global attributes bits that no single function owns (dictionary storage,
+// tables, headers, stream-level padding) to a named pseudo-row.
+func (e *Emitter) Global(c Class, name string, bits int64) {
+	if e == nil || bits == 0 {
+		return
+	}
+	g := e.global[name]
+	if g == nil {
+		g = &ClassBits{}
+		e.global[name] = g
+		e.order = append(e.order, name)
+	}
+	g[c] += bits
+}
+
+// Finish assembles the audit: real functions in address order (empty rows
+// dropped), then pseudo-rows in first-emit order. totalBytes is the
+// complete compressed image size the attribution must account for;
+// originalBytes the uncompressed text size (0 if not meaningful). A nil
+// emitter finishes to nil.
+func (e *Emitter) Finish(name, encoding string, totalBytes, originalBytes int) *Audit {
+	if e == nil {
+		return nil
+	}
+	a := &Audit{
+		Name:          name,
+		Encoding:      encoding,
+		TotalBytes:    totalBytes,
+		OriginalBytes: originalBytes,
+	}
+	for i, f := range e.funcs {
+		if e.rows[i] == (ClassBits{}) {
+			continue
+		}
+		a.Funcs = append(a.Funcs, FuncSize{Name: f.Name, Bits: e.rows[i]})
+	}
+	for _, n := range e.order {
+		a.Funcs = append(a.Funcs, FuncSize{Name: n, Bits: *e.global[n]})
+	}
+	return a
+}
+
+// FuncSize is one audit row: a function (or pseudo-row) and its per-class
+// bit counts.
+type FuncSize struct {
+	Name string    `json:"name"`
+	Bits ClassBits `json:"bits"`
+}
+
+// Total is the row's bit total.
+func (f FuncSize) Total() int64 { return f.Bits.Total() }
+
+// Audit is the finished attribution of one compressed image: every bit of
+// TotalBytes classified and attributed. Counts are bits, not bytes,
+// because nibble-aligned codewords are not byte-granular; Bytes converts.
+type Audit struct {
+	Name          string     `json:"name"`
+	Encoding      string     `json:"encoding"`
+	TotalBytes    int        `json:"total_bytes"`
+	OriginalBytes int        `json:"original_bytes,omitempty"`
+	Funcs         []FuncSize `json:"funcs"`
+}
+
+// Bytes converts a bit count to (possibly fractional) bytes.
+func Bytes(bits int64) float64 { return float64(bits) / 8 }
+
+// AttributedBits sums every row.
+func (a *Audit) AttributedBits() int64 {
+	var n int64
+	for _, f := range a.Funcs {
+		n += f.Bits.Total()
+	}
+	return n
+}
+
+// ClassTotals sums the per-class bits across all rows.
+func (a *Audit) ClassTotals() ClassBits {
+	var t ClassBits
+	for _, f := range a.Funcs {
+		for c, v := range f.Bits {
+			t[c] += v
+		}
+	}
+	return t
+}
+
+// FuncByName finds a row, for diffing and tests.
+func (a *Audit) FuncByName(name string) (FuncSize, bool) {
+	for _, f := range a.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncSize{}, false
+}
+
+// Ratio is compressed/original, 0 when the original size is unknown.
+func (a *Audit) Ratio() float64 {
+	if a.OriginalBytes == 0 {
+		return 0
+	}
+	return float64(a.TotalBytes) / float64(a.OriginalBytes)
+}
+
+// Check asserts the conservation invariant: the attributed bits sum to
+// exactly 8×TotalBytes and nothing landed in the unknown row. Every
+// encoder's audit must pass; a failure means the encoder leaked or
+// double-counted bytes.
+func (a *Audit) Check() error {
+	for _, f := range a.Funcs {
+		if f.Name == UnknownRow {
+			return fmt.Errorf("sizeaudit: %s (%s): %d bits unattributed in %s",
+				a.Name, a.Encoding, f.Bits.Total(), UnknownRow)
+		}
+	}
+	if got, want := a.AttributedBits(), int64(a.TotalBytes)*8; got != want {
+		return fmt.Errorf("sizeaudit: %s (%s): attributed %d bits, image has %d",
+			a.Name, a.Encoding, got, want)
+	}
+	return nil
+}
+
+// AuditProgram is the native baseline audit: every text word is 32 raw
+// bits attributed to its containing function. Diffing a compressed audit
+// against it yields per-function compression deltas.
+func AuditProgram(p *program.Program) *Audit {
+	em := NewProgramEmitter(p)
+	for i := range p.Text {
+		em.AtWord(Raw, i, 32)
+	}
+	return em.Finish(p.Name, "native", p.SizeBytes(), p.SizeBytes())
+}
