@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff check bench bench-json bench-diff sizeaudit
+.PHONY: all build vet test race smoke diff lint-dispatch check bench bench-json bench-diff sizeaudit
 
 all: check
 
@@ -28,7 +28,22 @@ smoke:
 diff:
 	$(GO) test -run 'MatchesReference|StrategyParity|DegradedHash|FuzzBuildDifferential' ./internal/dictionary
 
-check: vet build diff race smoke
+# Dispatch gate: codec selection flows through the registry. A switch on a
+# codeword scheme anywhere outside internal/codec and internal/codeword is
+# a hard-coded dispatch site reintroducing the pre-registry pattern; add a
+# Codec method or an interface facet instead (see DESIGN.md, "Codec
+# registry").
+lint-dispatch:
+	@found=$$(grep -rn 'switch.*[Ss]cheme' --include='*.go' \
+		--exclude-dir=codec --exclude-dir=codeword . || true); \
+	if [ -n "$$found" ]; then \
+		echo "$$found"; \
+		echo 'lint-dispatch: switch-on-Scheme dispatch outside internal/codec and internal/codeword'; \
+		echo 'lint-dispatch: route codec selection through the registry (DESIGN.md, "Codec registry")'; \
+		exit 1; \
+	fi
+
+check: vet build lint-dispatch diff race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

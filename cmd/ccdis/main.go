@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/codeword"
 	"repro/internal/core"
 	"repro/internal/objfile"
@@ -37,11 +38,23 @@ func main() {
 	defer f.Close()
 
 	if strings.HasSuffix(path, ".ppz") {
-		img, err := objfile.ReadImage(f)
+		// The frame's method byte selects the codec; dictionary images get
+		// the full Figure 2 rendering, other codecs a header summary.
+		oi, err := objfile.OpenImage(f)
 		if err != nil {
 			fatal(err)
 		}
-		disImage(img, *dictOnly, *limit)
+		if img, ok := oi.(*core.Image); ok {
+			disImage(img, *dictOnly, *limit)
+			return
+		}
+		c, err := codec.ByMethod(oi.Method())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s codec (method 0x%02x): %d compressed bytes, ratio %.3f\n",
+			c.Name(), uint8(oi.Method()), oi.CompressedBytes(), oi.Ratio())
+		fmt.Println("no codeword stream to disassemble (not a dictionary image)")
 		return
 	}
 	p, err := objfile.ReadProgram(f)

@@ -70,7 +70,7 @@ func loadProgram(path string) (*program.Program, error) {
 
 func build(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	schemeName := fs.String("scheme", "baseline", "codeword scheme")
+	schemeName := fs.String("scheme", "baseline", "codeword scheme: "+strings.Join(cli.SchemeNames(), ", "))
 	entryLen := fs.Int("entrylen", 4, "maximum instructions per entry")
 	out := fs.String("o", "fleet.ppd", "output dictionary path")
 	fs.Parse(args)
@@ -106,7 +106,7 @@ func build(args []string) {
 
 func compress(args []string) {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	schemeName := fs.String("scheme", "baseline", "codeword scheme")
+	schemeName := fs.String("scheme", "baseline", "codeword scheme: "+strings.Join(cli.SchemeNames(), ", "))
 	dictPath := fs.String("dict", "", "shared dictionary (.ppd)")
 	out := fs.String("o", "", "output .ppz (single input only; default input with .ppz suffix)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "bound on concurrent compressions")

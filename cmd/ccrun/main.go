@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/guestprof"
 	"repro/internal/machine"
@@ -59,24 +60,37 @@ func main() {
 	wantGuest := *guestProf || *folded != ""
 	switch {
 	case strings.HasSuffix(path, ".ppz"):
-		img, err = objfile.ReadImage(f)
+		// The frame's method byte selects the codec; no scheme flag needed.
+		oi, err := objfile.OpenImage(f)
 		if err != nil {
 			fatal(err)
 		}
+		img, _ = oi.(*core.Image)
 		if *sizeAudit {
-			// The audit reconstructs from the image's marks — the .ppz
-			// round-trips them — so no recompression is needed.
-			if sa, err = img.SizeAudit(); err != nil {
+			// The audit reconstructs from the image's serialized sideband
+			// (the dictionary images' marks), so no recompression is needed.
+			aud, ok := oi.(codec.Auditable)
+			if !ok {
+				fatal(fmt.Errorf("-sizeaudit: %T images carry no marks audit; use ccomp -audit on the source .ppx", oi))
+			}
+			if sa, err = aud.SizeAudit(); err != nil {
 				fatal(err)
 			}
 		}
-		cpu, err = core.NewMachine(img)
+		ex, ok := oi.(codec.Executable)
+		if !ok {
+			fatal(fmt.Errorf("image codec cannot execute (%T is a size comparator)", oi))
+		}
+		cpu, err = ex.NewMachine()
 		if err != nil {
 			fatal(err)
 		}
 		if wantGuest {
 			// Compressed runs symbolize through the image's address map, so
 			// cycles land on the original program's function names.
+			if img == nil {
+				fatal(fmt.Errorf("-guestprof needs a dictionary image; %T carries no address map", oi))
+			}
 			if sym, err = img.GuestSymTab(); err != nil {
 				fatal(err)
 			}

@@ -76,6 +76,7 @@ func main() {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\nencodings (codec registry): %s\n", strings.Join(bench.AuditEncodings, ", "))
 		return
 	}
 

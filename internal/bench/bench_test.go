@@ -151,9 +151,14 @@ func TestFig11Band(t *testing.T) {
 
 func TestBaselinesOrdering(t *testing.T) {
 	tab := runExp(t, "baselines")
+	// Columns follow the codec registry's method-byte order plus thumb16:
+	// bench, baseline, onebyte, nibble, liao, ccrp, lzw, thumb16.
+	if want := append(append([]string{"bench"}, AuditEncodings...), "thumb16"); len(tab.Columns) != len(want) {
+		t.Fatalf("baselines columns %v, want %v", tab.Columns, want)
+	}
 	for _, row := range tab.Rows {
-		base, nib, liao := cell(t, row[1]), cell(t, row[2]), cell(t, row[3])
-		ccrp, thumb16 := cell(t, row[4]), cell(t, row[6])
+		base, nib, liao := cell(t, row[1]), cell(t, row[3]), cell(t, row[4])
+		ccrp, thumb16 := cell(t, row[5]), cell(t, row[7])
 		if nib >= base {
 			t.Errorf("%s: nibble %v not better than baseline %v", row[0], nib, base)
 		}

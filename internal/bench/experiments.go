@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/codec"
 	"repro/internal/codeword"
 	"repro/internal/core"
 	"repro/internal/dictionary"
-	"repro/internal/huffman"
 	"repro/internal/lzw"
 	"repro/internal/machine"
 	"repro/internal/profile"
@@ -417,12 +417,14 @@ func Table3(c *Corpus) (*Table, error) {
 	return t, nil
 }
 
-// ExtBaselines compares every scheme against CCRP and LZW.
+// ExtBaselines compares every registered codec against the Thumb model:
+// one ratio column per registry entry in method-byte order, so a newly
+// registered codec appears in the table automatically.
 func ExtBaselines(c *Corpus) (*Table, error) {
 	t := &Table{
 		ID:      "baselines",
 		Title:   "Compression ratio by method (dictionary schemes vs related work)",
-		Columns: []string{"bench", "baseline", "nibble", "liao", "ccrp", "lzw", "thumb16"},
+		Columns: append(append([]string{"bench"}, codec.Names()...), "thumb16"),
 		Note: "expected: nibble < baseline < liao ≈ thumb16 ≈ ccrp; Liao suffers " +
 			"because single instructions cannot profit from 32-bit codewords (§2.4); " +
 			"thumb16 is the §2.2 fixed-16-bit re-encoding model (optimistic for Thumb)",
@@ -434,22 +436,21 @@ func ExtBaselines(c *Corpus) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		model := huffman.DefaultCCRP()
-		model.Stats = c.Recorder() // per-row copy: Stats must not race across rows
 		row := []string{name}
-		for _, s := range []codeword.Scheme{codeword.Baseline, codeword.Nibble, codeword.Liao} {
-			img, err := c.Image(name, core.Options{Scheme: s, MaxEntryLen: 4})
+		for _, cd := range codec.Codecs() {
+			var img codec.Image
+			if sc, ok := cd.(codec.Schemed); ok {
+				// Dictionary schemes go through the memoizing corpus cache.
+				img, err = c.Image(name, core.Options{Scheme: sc.Scheme(), MaxEntryLen: 4})
+			} else {
+				img, err = cd.Compress(p, codec.Options{Stats: c.Recorder()})
+			}
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, ratioStr(img.Ratio()))
 		}
-		cc, err := model.Compress(p.TextBytes())
-		if err != nil {
-			return nil, err
-		}
-		return append(row, ratioStr(cc.Ratio()), ratioStr(lzw.RatioRecorded(p.TextBytes(), c.Recorder())),
-			ratioStr(thumb.Analyze(p).Ratio())), nil
+		return append(row, ratioStr(thumb.Analyze(p).Ratio())), nil
 	})
 	if err != nil {
 		return nil, err

@@ -6,10 +6,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/codeword"
+	"repro/internal/codec"
 	"repro/internal/core"
-	"repro/internal/huffman"
-	"repro/internal/lzw"
 	"repro/internal/sizeaudit"
 )
 
@@ -19,27 +17,24 @@ func init() {
 	)
 }
 
-// AuditEncodings lists the encodings the size-audit experiment covers, in
-// table order: the dictionary codeword schemes first, then the comparator
-// compressors.
-var AuditEncodings = []string{"baseline", "onebyte", "nibble", "liao", "ccrp", "lzw"}
-
-// auditSchemes maps the dictionary-scheme encoding ids to their schemes.
-var auditSchemes = map[string]codeword.Scheme{
-	"baseline": codeword.Baseline,
-	"onebyte":  codeword.OneByte,
-	"nibble":   codeword.Nibble,
-	"liao":     codeword.Liao,
-}
+// AuditEncodings lists the encodings the size-audit experiment covers —
+// every registered codec, in method-byte (table) order: the dictionary
+// codeword schemes first, then the comparator compressors. A codec
+// registering itself joins the audit sweep with no change here.
+var AuditEncodings = codec.Names()
 
 // AuditFor produces the byte-provenance audit of one benchmark under one
-// encoding (an AuditEncodings id). Dictionary schemes reconstruct the
-// audit from the memoized image's marks; CCRP and LZW attach a live
+// encoding (a registered codec name). Dictionary schemes reconstruct the
+// audit from the memoized image's marks; other codecs attach a live
 // emitter to their encoders. Every returned audit has passed its
 // conservation check — the experiment is self-verifying.
 func AuditFor(c *Corpus, name, enc string) (*sizeaudit.Audit, error) {
-	if s, ok := auditSchemes[enc]; ok {
-		img, err := c.Image(name, core.Options{Scheme: s, MaxEntryLen: 4})
+	cd, err := codec.ByName(enc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: unknown audit encoding %q", enc)
+	}
+	if sc, ok := cd.(codec.Schemed); ok {
+		img, err := c.Image(name, core.Options{Scheme: sc.Scheme(), MaxEntryLen: 4})
 		if err != nil {
 			return nil, err
 		}
@@ -49,28 +44,7 @@ func AuditFor(c *Corpus, name, enc string) (*sizeaudit.Audit, error) {
 	if err != nil {
 		return nil, err
 	}
-	em := sizeaudit.NewProgramEmitter(p)
-	var a *sizeaudit.Audit
-	switch enc {
-	case "ccrp":
-		cfg := huffman.DefaultCCRP()
-		cfg.Stats = c.Recorder()
-		cfg.Audit = em
-		img, err := huffman.BuildCCRPImage(p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		a = em.Finish(name, "ccrp", img.CompressedBytes(), p.SizeBytes())
-	case "lzw":
-		out := lzw.CompressAudited(p.TextBytes(), c.Recorder(), em)
-		a = em.Finish(name, "lzw", len(out), p.SizeBytes())
-	default:
-		return nil, fmt.Errorf("bench: unknown audit encoding %q", enc)
-	}
-	if err := a.Check(); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return cd.Audit(p, codec.Options{Stats: c.Recorder()})
 }
 
 // ExtSizeAudit attributes every compressed byte of every benchmark under

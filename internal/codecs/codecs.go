@@ -1,0 +1,16 @@
+// Package codecs links every built-in codec into the registry. Import it
+// for side effects (the database/sql driver pattern):
+//
+//	import _ "repro/internal/codecs"
+//
+// The codec implementations register themselves from init functions in
+// their home packages; this hub only exists so generic layers (objfile,
+// cli) can guarantee a fully populated registry without importing each
+// encoding package by name.
+package codecs
+
+import (
+	_ "repro/internal/core"    // dictionary schemes: baseline, onebyte, nibble, liao
+	_ "repro/internal/huffman" // ccrp
+	_ "repro/internal/lzw"     // lzw
+)

@@ -31,17 +31,19 @@ const (
 	Liao
 )
 
-// String names the scheme.
+// String is the scheme's canonical name — the same string the codec
+// registry registers it under, so names round-trip: cli.ParseScheme(
+// s.String()) == s for every scheme.
 func (s Scheme) String() string {
 	switch s {
 	case Baseline:
-		return "baseline-2byte"
+		return "baseline"
 	case OneByte:
-		return "one-byte"
+		return "onebyte"
 	case Nibble:
 		return "nibble"
 	case Liao:
-		return "liao-call-dict"
+		return "liao"
 	}
 	return fmt.Sprintf("Scheme(%d)", uint8(s))
 }
@@ -125,6 +127,22 @@ func (s Scheme) RawInsnUnits() int {
 		return 9
 	}
 	return 32 / s.UnitBits()
+}
+
+// EscapeBits is the portion of one codeword spent marking "this is a
+// codeword" rather than selecting an entry: the illegal-opcode escape byte
+// (baseline and one-byte), the escape-class nibble, or Liao's 6-bit
+// primary opcode.
+func (s Scheme) EscapeBits() int {
+	switch s {
+	case Baseline, OneByte:
+		return 8
+	case Nibble:
+		return 4
+	case Liao:
+		return 6
+	}
+	return 0
 }
 
 // EntryOverheadBits is the per-entry dictionary serialization overhead

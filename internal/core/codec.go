@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/codeword"
+	"repro/internal/dictionary"
+	"repro/internal/machine"
+	"repro/internal/program"
+	"repro/internal/sizeaudit"
+	"repro/internal/wire"
+)
+
+// The four dictionary schemes register themselves as codecs; their method
+// bytes equal the raw codeword.Scheme values, which is what version-1
+// image files stored, so old files keep their meaning under the new
+// self-describing framing.
+func init() {
+	codec.Register(schemeCodec{codeword.Baseline}, "2byte")
+	codec.Register(schemeCodec{codeword.OneByte}, "1byte")
+	codec.Register(schemeCodec{codeword.Nibble})
+	codec.Register(schemeCodec{codeword.Liao})
+}
+
+// Method identifies the dictionary codec that produced the image.
+func (img *Image) Method() codec.Method { return codec.Method(img.Scheme) }
+
+// NewMachine builds a CPU executing the image with the default (on-chip
+// dictionary) fetch path — the codec.Executable hook behind ccrun's
+// any-encoding dispatch.
+func (img *Image) NewMachine() (*machine.CPU, error) { return NewMachine(img) }
+
+// WriteImagePayload serializes a dictionary image body: everything the
+// PPCZ container stores after its frame header, including the
+// verification marks (sideband metadata). The layout is the version-1
+// PPCZ body, unchanged, so both container versions share one coder.
+func WriteImagePayload(dst io.Writer, img *Image) error {
+	w := wire.NewWriter(dst)
+	w.Str(img.Name)
+	w.U8(uint8(img.Scheme))
+	w.U32(uint32(img.Units))
+	w.Blob(img.Stream)
+	w.U32(img.Base)
+	w.U32(img.EntryUnit)
+	w.U32(uint32(len(img.Entries)))
+	for _, e := range img.Entries {
+		w.U8(uint8(len(e.Words)))
+		for _, x := range e.Words {
+			w.U32(x)
+		}
+		w.U32(uint32(e.Uses))
+	}
+	w.U32(img.DataBase)
+	w.Blob(img.Data)
+	w.U32(uint32(len(img.JumpTableSlots)))
+	for _, s := range img.JumpTableSlots {
+		w.U32(uint32(s))
+	}
+	w.U32(uint32(len(img.Symbols)))
+	for _, s := range img.Symbols {
+		w.Str(s.Name)
+		w.U32(uint32(s.Word))
+	}
+	w.U32(uint32(len(img.Marks)))
+	for _, m := range img.Marks {
+		w.U32(uint32(m.Unit))
+		w.U32(uint32(m.Orig))
+		w.U8(uint8(m.Kind))
+	}
+	w.U32(uint32(img.OriginalBytes))
+	w.U32(uint32(img.StreamBytes))
+	w.U32(uint32(img.DictionaryBytes))
+	for _, v := range []int{
+		img.Stats.Items, img.Stats.CodewordItems, img.Stats.RawItems,
+		img.Stats.StubBranches, img.Stats.CoveredInsns,
+		img.Stats.CodewordBits, img.Stats.EscapeBits, img.Stats.RawBits,
+	} {
+		w.U32(uint32(v))
+	}
+	w.U32(img.TextBase)
+	w.U32(uint32(len(img.OrigSymbols)))
+	for _, s := range img.OrigSymbols {
+		w.Str(s.Name)
+		w.U32(uint32(s.Word))
+	}
+	return w.Err()
+}
+
+// ReadImagePayload deserializes a dictionary image body written by
+// WriteImagePayload.
+func ReadImagePayload(src io.Reader) (*Image, error) {
+	r := wire.NewReader(src)
+	img := &Image{}
+	img.Name = r.Str()
+	img.Scheme = codeword.Scheme(r.U8())
+	img.Units = int(r.U32())
+	img.Stream = r.Blob()
+	img.Base = r.U32()
+	img.EntryUnit = r.U32()
+	nent := r.Count(int(r.U32()), "entry")
+	for i := 0; i < nent && r.Err() == nil; i++ {
+		k := int(r.U8())
+		words := make([]uint32, k)
+		for j := range words {
+			words[j] = r.U32()
+		}
+		uses := int(r.U32())
+		img.Entries = append(img.Entries, dictionary.Entry{Words: words, Uses: uses})
+	}
+	img.DataBase = r.U32()
+	img.Data = r.Blob()
+	njt := r.Count(int(r.U32()), "jump-table slot")
+	for i := 0; i < njt && r.Err() == nil; i++ {
+		img.JumpTableSlots = append(img.JumpTableSlots, int(r.U32()))
+	}
+	nsym := r.Count(int(r.U32()), "symbol")
+	for i := 0; i < nsym && r.Err() == nil; i++ {
+		name := r.Str()
+		img.Symbols = append(img.Symbols, program.Symbol{Name: name, Word: int(r.U32())})
+	}
+	nmarks := r.Count(int(r.U32()), "mark")
+	for i := 0; i < nmarks && r.Err() == nil; i++ {
+		m := Mark{Unit: int(r.U32()), Orig: int(r.U32()), Kind: MarkKind(r.U8())}
+		img.Marks = append(img.Marks, m)
+	}
+	img.OriginalBytes = int(r.U32())
+	img.StreamBytes = int(r.U32())
+	img.DictionaryBytes = int(r.U32())
+	for _, dst := range []*int{
+		&img.Stats.Items, &img.Stats.CodewordItems, &img.Stats.RawItems,
+		&img.Stats.StubBranches, &img.Stats.CoveredInsns,
+		&img.Stats.CodewordBits, &img.Stats.EscapeBits, &img.Stats.RawBits,
+	} {
+		*dst = int(r.U32())
+	}
+	img.TextBase = r.U32()
+	nosym := r.Count(int(r.U32()), "original symbol")
+	for i := 0; i < nosym && r.Err() == nil; i++ {
+		name := r.Str()
+		img.OrigSymbols = append(img.OrigSymbols, program.Symbol{Name: name, Word: int(r.U32())})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// schemeCodec adapts one dictionary codeword scheme to the codec
+// interface.
+type schemeCodec struct {
+	scheme codeword.Scheme
+}
+
+// Method is the frame byte — the raw scheme value, by construction.
+func (c schemeCodec) Method() codec.Method { return codec.Method(c.scheme) }
+
+// Name is the scheme's canonical name.
+func (c schemeCodec) Name() string { return c.scheme.String() }
+
+// Scheme exposes the underlying codeword scheme (codec.Schemed), the hook
+// scheme-keyed layers such as the bench corpus cache use.
+func (c schemeCodec) Scheme() codeword.Scheme { return c.scheme }
+
+// options maps the generic codec options onto the dictionary pipeline's.
+func (c schemeCodec) options(opt codec.Options) Options {
+	return Options{
+		Scheme:      c.scheme,
+		MaxEntries:  opt.MaxEntries,
+		MaxEntryLen: opt.MaxEntryLen,
+		Strategy:    opt.Strategy,
+		DynProfile:  opt.DynProfile,
+		Stats:       opt.Stats,
+		Trace:       opt.Trace,
+		Audit:       opt.Audit,
+	}
+}
+
+// Compress runs the full dictionary pipeline on a private clone.
+func (c schemeCodec) Compress(p *program.Program, opt codec.Options) (codec.Image, error) {
+	return Compress(p.Clone(), c.options(opt))
+}
+
+// Open deserializes an image payload and checks it belongs to this codec.
+func (c schemeCodec) Open(r io.Reader) (codec.Image, error) {
+	img, err := ReadImagePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if img.Scheme != c.scheme {
+		return nil, fmt.Errorf("core: image scheme %v does not match codec %v", img.Scheme, c.scheme)
+	}
+	return img, nil
+}
+
+// WriteImage serializes an image produced by this codec.
+func (c schemeCodec) WriteImage(w io.Writer, img codec.Image) error {
+	di, ok := img.(*Image)
+	if !ok {
+		return fmt.Errorf("core: %T is not a dictionary image", img)
+	}
+	if di.Scheme != c.scheme {
+		return fmt.Errorf("core: image scheme %v does not match codec %v", di.Scheme, c.scheme)
+	}
+	return WriteImagePayload(w, di)
+}
+
+// Verify runs the structural verifier against the original program.
+func (c schemeCodec) Verify(p *program.Program, img codec.Image) error {
+	di, ok := img.(*Image)
+	if !ok {
+		return fmt.Errorf("core: %T is not a dictionary image", img)
+	}
+	return Verify(p, di)
+}
+
+// Audit reconstructs the byte-provenance audit from the image's marks —
+// bit-identical to a live emitter attached during compression, without
+// recompressing (the memoized-image fast path the bench tables rely on).
+func (c schemeCodec) Audit(p *program.Program, opt codec.Options) (*sizeaudit.Audit, error) {
+	img, err := Compress(p.Clone(), c.options(opt))
+	if err != nil {
+		return nil, err
+	}
+	return img.SizeAudit()
+}
+
+// MaxCompressedBytes: in the worst case nothing compresses, every
+// instruction is emitted raw, and every one of them is a conditional far
+// branch expanded to a condStubLen-instruction stub. Loose, but a true
+// bound.
+func (c schemeCodec) MaxCompressedBytes(originalBytes int) int {
+	insns := (originalBytes + 3) / 4
+	units := insns * condStubLen * c.scheme.RawInsnUnits()
+	return (units*c.scheme.UnitBits()+7)/8 + codeword.DictHeaderBytes
+}

@@ -231,20 +231,21 @@ func TestVerifyCatchesUnitCorruption(t *testing.T) {
 	}
 }
 
-// mutate XORs a unit's bits in place.
+// mutate XORs a unit's bits in place, driven by the scheme's unit width
+// (sub-byte units flip the addressed nibble; byte-multiple units flip
+// their first byte).
 func mutate(img *Image, scheme codeword.Scheme, unit int, flip byte) {
-	switch scheme {
-	case codeword.Nibble:
+	if scheme.UnitBits() < 8 {
 		b := unit / 2
 		if unit%2 == 0 {
 			img.Stream[b] ^= flip << 4
 		} else {
 			img.Stream[b] ^= flip & 0xF
 		}
-	default:
-		bytesPer := scheme.UnitBits() / 8
-		img.Stream[unit*bytesPer] ^= flip
+		return
 	}
+	bytesPer := scheme.UnitBits() / 8
+	img.Stream[unit*bytesPer] ^= flip
 }
 
 func TestDecompressOnTruncatedStream(t *testing.T) {

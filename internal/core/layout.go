@@ -138,7 +138,7 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 			img.Marks = append(img.Marks, Mark{Unit: lay.itemUnit[ii], Orig: it.OrigIdx, Kind: MarkCodeword})
 			img.Stats.CodewordItems++
 			img.Stats.CodewordBits += scheme.CodewordBits(rank)
-			img.Stats.EscapeBits += escapeBits(scheme)
+			img.Stats.EscapeBits += scheme.EscapeBits()
 			opt.Audit.AtWord(sizeaudit.Codeword, it.OrigIdx, int64(scheme.CodewordBits(rank)))
 
 		case ppc.IsRelativeBranch(it.Word):
@@ -197,20 +197,6 @@ func emit(img *Image, p *program.Program, items []dictionary.Item, rankOf []int,
 		opt.Stats.Add("calldict.stub_bytes", stubBits/8)
 	}
 	return nil
-}
-
-// escapeBits is the portion of one codeword spent marking "this is a
-// codeword" (Fig. 9's escape-byte accounting).
-func escapeBits(s codeword.Scheme) int {
-	switch s {
-	case codeword.Baseline, codeword.OneByte:
-		return 8
-	case codeword.Nibble:
-		return 4
-	case codeword.Liao:
-		return 6
-	}
-	return 0
 }
 
 // emitStub writes the register-indirect far-branch sequence.

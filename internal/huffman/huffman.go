@@ -84,6 +84,27 @@ func Build(freq *[256]int64) (*Code, error) {
 	return c, nil
 }
 
+// NewCodeFromLens rebuilds a canonical code from its per-symbol lengths —
+// the form the code table is serialized in (the canonical property means
+// lengths alone determine the code values).
+func NewCodeFromLens(lens [256]uint8) (*Code, error) {
+	c := &Code{Lens: lens}
+	n := 0
+	for s, l := range lens {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: symbol %d code length %d exceeds limit", s, l)
+		}
+		if l > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, errors.New("huffman: empty code table")
+	}
+	assignCanonical(c)
+	return c, nil
+}
+
 // nodeHeap orders node indices by weight (ties by index for determinism).
 type nodeHeap struct {
 	nodes *[]hnode

@@ -1,18 +1,31 @@
 // Package objfile serializes linked programs (PPX1) and compressed images
 // (PPCZ) to byte streams, giving the command-line tools a stable on-disk
-// interchange format. Everything is big-endian via encoding/binary.
+// interchange format. Everything is big-endian via the wire primitives.
+//
+// The PPCZ container is versioned and self-describing. Version 2 frames
+// are
+//
+//	"PPCZ" 0xFF version=2 method payload...
+//
+// where method is the codec registry's stable frame byte and the payload
+// is that codec's image serialization, so any tool can open any image
+// without being told its encoding. Version 1 files (dictionary images
+// only) carried the body directly after the magic with the scheme byte
+// inside the body; they are detected by their first post-magic byte — a
+// name-length high byte, always below the 0xFF sentinel — and still load.
 package objfile
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 
-	"repro/internal/codeword"
+	"repro/internal/codec"
+	_ "repro/internal/codecs" // populate the registry for OpenImage
 	"repro/internal/core"
 	"repro/internal/dictionary"
 	"repro/internal/program"
+	"repro/internal/wire"
 )
 
 // Magic numbers.
@@ -22,159 +35,83 @@ var (
 	magicDict    = [4]byte{'P', 'P', 'D', 'X'}
 )
 
-// limits guard against garbage files allocating absurd buffers.
+// PPCZ container versioning.
 const (
-	maxStr   = 1 << 12
-	maxCount = 1 << 26
+	// ImageVersion is the current container version.
+	ImageVersion = 2
+
+	// frameSentinel introduces a versioned frame header. Version-1 files
+	// cannot produce it there: the byte after the magic is the high byte of
+	// a uint16 name length bounded by wire.MaxStr (1<<12).
+	frameSentinel = 0xFF
 )
-
-type writer struct {
-	w   *bufio.Writer
-	err error
-}
-
-func (w *writer) u8(v uint8)   { w.bin(v) }
-func (w *writer) u16(v uint16) { w.bin(v) }
-func (w *writer) u32(v uint32) { w.bin(v) }
-func (w *writer) bin(v interface{}) {
-	if w.err == nil {
-		w.err = binary.Write(w.w, binary.BigEndian, v)
-	}
-}
-func (w *writer) bytes(b []byte) {
-	if w.err == nil {
-		_, w.err = w.w.Write(b)
-	}
-}
-func (w *writer) str(s string) {
-	if len(s) > maxStr {
-		w.err = fmt.Errorf("objfile: string too long (%d)", len(s))
-		return
-	}
-	w.u16(uint16(len(s)))
-	w.bytes([]byte(s))
-}
-func (w *writer) words(ws []uint32) {
-	w.u32(uint32(len(ws)))
-	for _, x := range ws {
-		w.u32(x)
-	}
-}
-
-type reader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (r *reader) u8() (v uint8)   { r.bin(&v); return }
-func (r *reader) u16() (v uint16) { r.bin(&v); return }
-func (r *reader) u32() (v uint32) { r.bin(&v); return }
-func (r *reader) bin(v interface{}) {
-	if r.err == nil {
-		r.err = binary.Read(r.r, binary.BigEndian, v)
-	}
-}
-func (r *reader) bytes(n int) []byte {
-	if r.err != nil {
-		return nil
-	}
-	if n < 0 || n > maxCount {
-		r.err = fmt.Errorf("objfile: implausible length %d", n)
-		return nil
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r.r, b); err != nil {
-		r.err = err
-		return nil
-	}
-	return b
-}
-func (r *reader) str() string {
-	n := int(r.u16())
-	return string(r.bytes(n))
-}
-func (r *reader) words() []uint32 {
-	n := int(r.u32())
-	if r.err != nil {
-		return nil
-	}
-	if n > maxCount {
-		r.err = fmt.Errorf("objfile: implausible word count %d", n)
-		return nil
-	}
-	out := make([]uint32, n)
-	for i := range out {
-		out[i] = r.u32()
-	}
-	return out
-}
 
 // WriteProgram serializes a linked program.
 func WriteProgram(dst io.Writer, p *program.Program) error {
-	w := &writer{w: bufio.NewWriter(dst)}
-	w.bytes(magicProgram[:])
-	w.str(p.Name)
-	w.u32(p.TextBase)
-	w.u32(p.DataBase)
-	w.u32(uint32(p.Entry))
-	w.words(p.Text)
-	w.u32(uint32(len(p.Data)))
-	w.bytes(p.Data)
-	w.u32(uint32(len(p.Symbols)))
+	bw := bufio.NewWriter(dst)
+	w := wire.NewWriter(bw)
+	w.Bytes(magicProgram[:])
+	w.Str(p.Name)
+	w.U32(p.TextBase)
+	w.U32(p.DataBase)
+	w.U32(uint32(p.Entry))
+	w.Words(p.Text)
+	w.Blob(p.Data)
+	w.U32(uint32(len(p.Symbols)))
 	for _, s := range p.Symbols {
-		w.str(s.Name)
-		w.u32(uint32(s.Word))
+		w.Str(s.Name)
+		w.U32(uint32(s.Word))
 	}
-	w.u32(uint32(len(p.JumpTableSlots)))
+	w.U32(uint32(len(p.JumpTableSlots)))
 	for _, s := range p.JumpTableSlots {
-		w.u32(uint32(s))
+		w.U32(uint32(s))
 	}
 	writeRanges(w, p.Prologue)
 	writeRanges(w, p.Epilogue)
-	if w.err != nil {
-		return w.err
+	if err := w.Err(); err != nil {
+		return err
 	}
-	return w.w.Flush()
+	return bw.Flush()
 }
 
-func writeRanges(w *writer, rs []program.Range) {
-	w.u32(uint32(len(rs)))
+func writeRanges(w *wire.Writer, rs []program.Range) {
+	w.U32(uint32(len(rs)))
 	for _, r := range rs {
-		w.u32(uint32(r.Start))
-		w.u32(uint32(r.End))
+		w.U32(uint32(r.Start))
+		w.U32(uint32(r.End))
 	}
 }
 
 // ReadProgram deserializes and validates a program.
 func ReadProgram(src io.Reader) (*program.Program, error) {
-	r := &reader{r: bufio.NewReader(src)}
-	magic := r.bytes(4)
-	if r.err != nil {
-		return nil, r.err
+	r := wire.NewReader(bufio.NewReader(src))
+	magic := r.Bytes(4)
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	if string(magic) != string(magicProgram[:]) {
 		return nil, fmt.Errorf("objfile: bad program magic %q", magic)
 	}
 	p := &program.Program{}
-	p.Name = r.str()
-	p.TextBase = r.u32()
-	p.DataBase = r.u32()
-	p.Entry = int(r.u32())
-	p.Text = r.words()
-	p.Data = r.bytes(int(r.u32()))
-	nsym := int(r.u32())
-	for i := 0; i < nsym && r.err == nil; i++ {
-		name := r.str()
-		p.Symbols = append(p.Symbols, program.Symbol{Name: name, Word: int(r.u32())})
+	p.Name = r.Str()
+	p.TextBase = r.U32()
+	p.DataBase = r.U32()
+	p.Entry = int(r.U32())
+	p.Text = r.Words()
+	p.Data = r.Blob()
+	nsym := r.Count(int(r.U32()), "symbol")
+	for i := 0; i < nsym && r.Err() == nil; i++ {
+		name := r.Str()
+		p.Symbols = append(p.Symbols, program.Symbol{Name: name, Word: int(r.U32())})
 	}
-	njt := int(r.u32())
-	for i := 0; i < njt && r.err == nil; i++ {
-		p.JumpTableSlots = append(p.JumpTableSlots, int(r.u32()))
+	njt := r.Count(int(r.U32()), "jump-table slot")
+	for i := 0; i < njt && r.Err() == nil; i++ {
+		p.JumpTableSlots = append(p.JumpTableSlots, int(r.U32()))
 	}
 	p.Prologue = readRanges(r)
 	p.Epilogue = readRanges(r)
-	if r.err != nil {
-		return nil, r.err
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("objfile: %w", err)
@@ -182,196 +119,159 @@ func ReadProgram(src io.Reader) (*program.Program, error) {
 	return p, nil
 }
 
-func readRanges(r *reader) []program.Range {
-	n := int(r.u32())
+func readRanges(r *wire.Reader) []program.Range {
+	n := r.Count(int(r.U32()), "range")
 	var out []program.Range
-	for i := 0; i < n && r.err == nil; i++ {
-		out = append(out, program.Range{Start: int(r.u32()), End: int(r.u32())})
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, program.Range{Start: int(r.U32()), End: int(r.U32())})
 	}
 	return out
 }
 
 // WriteDictionary serializes a standalone (shared/ROM) dictionary.
 func WriteDictionary(dst io.Writer, entries []dictionary.Entry) error {
-	w := &writer{w: bufio.NewWriter(dst)}
-	w.bytes(magicDict[:])
-	w.u32(uint32(len(entries)))
+	bw := bufio.NewWriter(dst)
+	w := wire.NewWriter(bw)
+	w.Bytes(magicDict[:])
+	w.U32(uint32(len(entries)))
 	for _, e := range entries {
 		if len(e.Words) > 255 {
 			return fmt.Errorf("objfile: entry of %d words", len(e.Words))
 		}
-		w.u8(uint8(len(e.Words)))
+		w.U8(uint8(len(e.Words)))
 		for _, x := range e.Words {
-			w.u32(x)
+			w.U32(x)
 		}
-		w.u32(uint32(e.Uses))
+		w.U32(uint32(e.Uses))
 	}
-	if w.err != nil {
-		return w.err
+	if err := w.Err(); err != nil {
+		return err
 	}
-	return w.w.Flush()
+	return bw.Flush()
 }
 
 // ReadDictionary deserializes a standalone dictionary.
 func ReadDictionary(src io.Reader) ([]dictionary.Entry, error) {
-	r := &reader{r: bufio.NewReader(src)}
-	magic := r.bytes(4)
-	if r.err != nil {
-		return nil, r.err
+	r := wire.NewReader(bufio.NewReader(src))
+	magic := r.Bytes(4)
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	if string(magic) != string(magicDict[:]) {
 		return nil, fmt.Errorf("objfile: bad dictionary magic %q", magic)
 	}
-	n := int(r.u32())
-	if r.err != nil {
-		return nil, r.err
-	}
-	if n > maxCount {
-		return nil, fmt.Errorf("objfile: implausible entry count %d", n)
+	n := r.Count(int(r.U32()), "entry")
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	out := make([]dictionary.Entry, 0, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		k := int(r.u8())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := int(r.U8())
 		words := make([]uint32, k)
 		for j := range words {
-			words[j] = r.u32()
+			words[j] = r.U32()
 		}
-		uses := int(r.u32())
+		uses := int(r.U32())
 		out = append(out, dictionary.Entry{Words: words, Uses: uses})
 	}
-	if r.err != nil {
-		return nil, r.err
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// WriteImage serializes a compressed image, including the verification
-// marks (sideband metadata).
-func WriteImage(dst io.Writer, img *core.Image) error {
-	w := &writer{w: bufio.NewWriter(dst)}
-	w.bytes(magicImage[:])
-	w.str(img.Name)
-	w.u8(uint8(img.Scheme))
-	w.u32(uint32(img.Units))
-	w.u32(uint32(len(img.Stream)))
-	w.bytes(img.Stream)
-	w.u32(img.Base)
-	w.u32(img.EntryUnit)
-	w.u32(uint32(len(img.Entries)))
-	for _, e := range img.Entries {
-		w.u8(uint8(len(e.Words)))
-		for _, x := range e.Words {
-			w.u32(x)
-		}
-		w.u32(uint32(e.Uses))
+// WriteImage serializes a compressed image of any registered codec as a
+// current-version self-describing frame: the method byte in the header is
+// all a reader needs to reconstruct the image.
+func WriteImage(dst io.Writer, img codec.Image) error {
+	c, err := codec.ByMethod(img.Method())
+	if err != nil {
+		return fmt.Errorf("objfile: %w", err)
 	}
-	w.u32(img.DataBase)
-	w.u32(uint32(len(img.Data)))
-	w.bytes(img.Data)
-	w.u32(uint32(len(img.JumpTableSlots)))
-	for _, s := range img.JumpTableSlots {
-		w.u32(uint32(s))
+	bw := bufio.NewWriter(dst)
+	w := wire.NewWriter(bw)
+	w.Bytes(magicImage[:])
+	w.U8(frameSentinel)
+	w.U8(ImageVersion)
+	w.U8(uint8(img.Method()))
+	if err := w.Err(); err != nil {
+		return err
 	}
-	w.u32(uint32(len(img.Symbols)))
-	for _, s := range img.Symbols {
-		w.str(s.Name)
-		w.u32(uint32(s.Word))
+	if err := c.WriteImage(bw, img); err != nil {
+		return err
 	}
-	w.u32(uint32(len(img.Marks)))
-	for _, m := range img.Marks {
-		w.u32(uint32(m.Unit))
-		w.u32(uint32(m.Orig))
-		w.u8(uint8(m.Kind))
-	}
-	w.u32(uint32(img.OriginalBytes))
-	w.u32(uint32(img.StreamBytes))
-	w.u32(uint32(img.DictionaryBytes))
-	for _, v := range []int{
-		img.Stats.Items, img.Stats.CodewordItems, img.Stats.RawItems,
-		img.Stats.StubBranches, img.Stats.CoveredInsns,
-		img.Stats.CodewordBits, img.Stats.EscapeBits, img.Stats.RawBits,
-	} {
-		w.u32(uint32(v))
-	}
-	w.u32(img.TextBase)
-	w.u32(uint32(len(img.OrigSymbols)))
-	for _, s := range img.OrigSymbols {
-		w.str(s.Name)
-		w.u32(uint32(s.Word))
-	}
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
+	return bw.Flush()
 }
 
-// ReadImage deserializes a compressed image.
-func ReadImage(src io.Reader) (*core.Image, error) {
-	r := &reader{r: bufio.NewReader(src)}
-	magic := r.bytes(4)
-	if r.err != nil {
-		return nil, r.err
+// WriteImageV1 serializes a dictionary image as a version-1 frame (no
+// header; the scheme byte lives in the body). Kept for interoperability
+// with pre-versioning readers and as the writer side of the backward-
+// compatibility tests; new files should use WriteImage.
+func WriteImageV1(dst io.Writer, img *core.Image) error {
+	bw := bufio.NewWriter(dst)
+	if _, err := bw.Write(magicImage[:]); err != nil {
+		return err
+	}
+	if err := core.WriteImagePayload(bw, img); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// OpenImage deserializes a compressed image of any version: the codec is
+// inferred from the frame's method byte (version 2), or defaulted to the
+// dictionary codec recorded in the old in-body scheme byte (version 1).
+// Callers dispatch on the concrete type or on the codec.Executable /
+// codec.Auditable facets.
+func OpenImage(src io.Reader) (codec.Image, error) {
+	br := bufio.NewReader(src)
+	r := wire.NewReader(br)
+	magic := r.Bytes(4)
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	if string(magic) != string(magicImage[:]) {
 		return nil, fmt.Errorf("objfile: bad image magic %q", magic)
 	}
-	img := &core.Image{}
-	img.Name = r.str()
-	img.Scheme = codeword.Scheme(r.u8())
-	img.Units = int(r.u32())
-	img.Stream = r.bytes(int(r.u32()))
-	img.Base = r.u32()
-	img.EntryUnit = r.u32()
-	nent := int(r.u32())
-	if nent > maxCount {
-		return nil, fmt.Errorf("objfile: implausible entry count %d", nent)
+	next, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("objfile: truncated image frame: %w", err)
 	}
-	for i := 0; i < nent && r.err == nil; i++ {
-		k := int(r.u8())
-		words := make([]uint32, k)
-		for j := range words {
-			words[j] = r.u32()
-		}
-		uses := int(r.u32())
-		img.Entries = append(img.Entries, dictionary.Entry{Words: words, Uses: uses})
+	if next[0] != frameSentinel {
+		// Version 1: the body follows the magic directly; its scheme byte
+		// selects the dictionary codec.
+		return core.ReadImagePayload(br)
 	}
-	img.DataBase = r.u32()
-	img.Data = r.bytes(int(r.u32()))
-	njt := int(r.u32())
-	for i := 0; i < njt && r.err == nil; i++ {
-		img.JumpTableSlots = append(img.JumpTableSlots, int(r.u32()))
+	br.Discard(1)
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("objfile: truncated image frame: %w", err)
 	}
-	nsym := int(r.u32())
-	for i := 0; i < nsym && r.err == nil; i++ {
-		name := r.str()
-		img.Symbols = append(img.Symbols, program.Symbol{Name: name, Word: int(r.u32())})
+	if version != ImageVersion {
+		return nil, fmt.Errorf("objfile: unsupported image version %d (have %d)", version, ImageVersion)
 	}
-	nmarks := int(r.u32())
-	if nmarks > maxCount {
-		return nil, fmt.Errorf("objfile: implausible mark count %d", nmarks)
+	method, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("objfile: truncated image frame: %w", err)
 	}
-	for i := 0; i < nmarks && r.err == nil; i++ {
-		m := core.Mark{Unit: int(r.u32()), Orig: int(r.u32()), Kind: core.MarkKind(r.u8())}
-		img.Marks = append(img.Marks, m)
+	c, err := codec.ByMethod(codec.Method(method))
+	if err != nil {
+		return nil, fmt.Errorf("objfile: %w", err)
 	}
-	img.OriginalBytes = int(r.u32())
-	img.StreamBytes = int(r.u32())
-	img.DictionaryBytes = int(r.u32())
-	for _, dst := range []*int{
-		&img.Stats.Items, &img.Stats.CodewordItems, &img.Stats.RawItems,
-		&img.Stats.StubBranches, &img.Stats.CoveredInsns,
-		&img.Stats.CodewordBits, &img.Stats.EscapeBits, &img.Stats.RawBits,
-	} {
-		*dst = int(r.u32())
+	return c.Open(br)
+}
+
+// ReadImage deserializes a dictionary-scheme compressed image of either
+// container version. It is the typed convenience over OpenImage for
+// callers that specifically need the paper's dictionary method.
+func ReadImage(src io.Reader) (*core.Image, error) {
+	img, err := OpenImage(src)
+	if err != nil {
+		return nil, err
 	}
-	img.TextBase = r.u32()
-	nosym := int(r.u32())
-	for i := 0; i < nosym && r.err == nil; i++ {
-		name := r.str()
-		img.OrigSymbols = append(img.OrigSymbols, program.Symbol{Name: name, Word: int(r.u32())})
+	di, ok := img.(*core.Image)
+	if !ok {
+		return nil, fmt.Errorf("objfile: image is %T, not a dictionary image", img)
 	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	return img, nil
+	return di, nil
 }

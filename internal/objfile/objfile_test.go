@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/codeword"
 	"repro/internal/core"
 	"repro/internal/program"
@@ -139,6 +140,130 @@ func TestDictionaryRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadDictionary(bytes.NewReader([]byte("NOPE0000"))); err == nil {
 		t.Fatal("bad dictionary magic accepted")
+	}
+}
+
+// TestImageV1BackwardCompat: version-1 frames (no header, scheme byte in
+// the body) must keep loading through both OpenImage and ReadImage, and
+// must decode to exactly the image a current-version frame carries.
+func TestImageV1BackwardCompat(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []codeword.Scheme{codeword.Baseline, codeword.OneByte, codeword.Nibble, codeword.Liao} {
+		img, err := core.Compress(p.Clone(), core.Options{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v1, v2 bytes.Buffer
+		if err := WriteImageV1(&v1, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteImage(&v2, img); err != nil {
+			t.Fatal(err)
+		}
+		// The v2 frame is the v1 file with the 3-byte header spliced in
+		// after the magic; the payload bytes are identical.
+		if got, want := v2.Len(), v1.Len()+3; got != want {
+			t.Fatalf("%v: v2 frame is %d bytes, want v1+header %d", scheme, got, want)
+		}
+		if !bytes.Equal(v2.Bytes()[7:], v1.Bytes()[4:]) {
+			t.Fatalf("%v: v2 payload differs from v1 body", scheme)
+		}
+		from1, err := OpenImage(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: open v1: %v", scheme, err)
+		}
+		from2, err := OpenImage(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: open v2: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(from1, from2) {
+			t.Fatalf("%v: v1 and v2 decode to different images", scheme)
+		}
+		d1, ok := from1.(*core.Image)
+		if !ok {
+			t.Fatalf("%v: v1 frame decoded to %T", scheme, from1)
+		}
+		if d1.Scheme != scheme {
+			t.Fatalf("%v: v1 frame decoded scheme %v", scheme, d1.Scheme)
+		}
+		if err := core.Verify(p, d1); err != nil {
+			t.Fatalf("%v: verify v1-loaded image: %v", scheme, err)
+		}
+		// The typed reader accepts both container versions.
+		for i, buf := range [][]byte{v1.Bytes(), v2.Bytes()} {
+			if _, err := ReadImage(bytes.NewReader(buf)); err != nil {
+				t.Fatalf("%v: ReadImage v%d: %v", scheme, i+1, err)
+			}
+		}
+	}
+}
+
+// TestNonDictionaryImageRoundTrip: codecs without a codeword scheme
+// (CCRP, LZW) round-trip through the versioned frame, reopening to an
+// image of the same method with an identical re-serialization.
+func TestNonDictionaryImageRoundTrip(t *testing.T) {
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ccrp", "lzw"} {
+		cd, err := codec.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := cd.Compress(p, codec.Options{})
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		var frame bytes.Buffer
+		if err := WriteImage(&frame, img); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := OpenImage(bytes.NewReader(frame.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		if got.Method() != cd.Method() {
+			t.Fatalf("%s: reopened method %#x, want %#x", name, got.Method(), cd.Method())
+		}
+		var before, after bytes.Buffer
+		if err := cd.WriteImage(&before, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := cd.WriteImage(&after, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before.Bytes(), after.Bytes()) {
+			t.Fatalf("%s: payload changed across a round trip", name)
+		}
+		// The typed dictionary reader must refuse them with a clear error.
+		if _, err := ReadImage(bytes.NewReader(frame.Bytes())); err == nil {
+			t.Fatalf("%s: ReadImage accepted a non-dictionary image", name)
+		}
+	}
+}
+
+// TestImageFrameValidation: corrupt or unsupported frame headers are
+// rejected rather than misparsed as payload.
+func TestImageFrameValidation(t *testing.T) {
+	frame := func(b ...byte) []byte { return append([]byte("PPCZ"), b...) }
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"unsupported version", frame(0xFF, ImageVersion+1, 0x00)},
+		{"version zero", frame(0xFF, 0x00, 0x00)},
+		{"unknown method", frame(0xFF, ImageVersion, 0xEE)},
+		{"truncated after sentinel", frame(0xFF)},
+		{"truncated after version", frame(0xFF, ImageVersion)},
+	}
+	for _, tc := range cases {
+		if _, err := OpenImage(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
 }
 
