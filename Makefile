@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff lint-dispatch check bench bench-json bench-diff sizeaudit
+.PHONY: all build vet test race smoke diff lint-dispatch check bench bench-json bench-exec bench-diff sizeaudit
 
 all: check
 
@@ -57,11 +57,21 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
 	@echo wrote BENCH_dictionary.json
 
+# Just the execution-speed pair (native vs compressed through the
+# predecoded engine), recorded as BENCH_exec.json with the derived
+# compressed_vs_native_ratio metric — the quick loop while working on the
+# execution engine, without the multi-minute dictionary sweeps.
+bench-exec:
+	$(GO) test -run '^$$' -bench '^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_exec.json
+	@echo wrote BENCH_exec.json
+
 # Compare a fresh bench-json run against the committed trajectory.
-# Usage: make bench-diff NEW=BENCH_new.json [THRESHOLD=30]
+# Usage: make bench-diff NEW=BENCH_new.json [THRESHOLD=30] [RATIO_MAX=1.15]
 THRESHOLD ?= 30
+RATIO_MAX ?= 1.15
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) BENCH_dictionary.json $(NEW)
+	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) -max compressed_vs_native_ratio=$(RATIO_MAX) BENCH_dictionary.json $(NEW)
 
 # Byte-provenance table (stdout) plus per-benchmark JSON/CSV/folded
 # audit files under audits/.

@@ -7,6 +7,12 @@
 //
 //	benchdiff old.json new.json              # report only
 //	benchdiff -threshold 20 old.json new.json # fail on >20% regressions
+//	benchdiff -max compressed_vs_native_ratio=1.15 old.json new.json
+//
+// -max (repeatable) adds an absolute ceiling on a named metric in the NEW
+// report, independent of the baseline: the execution-speed ratio must stay
+// under its target even if the committed baseline drifted. A -max naming a
+// metric absent from the new report fails, so the gate cannot silently rot.
 //
 // Appeared/disappeared benchmarks are reported but never fail the gate:
 // renames and new coverage are routine; silently comparing nothing is the
@@ -18,15 +24,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/benchfmt"
 )
 
+// ceilingFlags collects repeatable -max name=value arguments.
+type ceilingFlags []benchfmt.Ceiling
+
+func (c *ceilingFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, x := range *c {
+		parts[i] = fmt.Sprintf("%s=%g", x.Metric, x.Limit)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *ceilingFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want metric=value, got %q", s)
+	}
+	limit, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("limit %q: %w", val, err)
+	}
+	*c = append(*c, benchfmt.Ceiling{Metric: name, Limit: limit})
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent; 0 disables the gate")
+	var ceilings ceilingFlags
+	flag.Var(&ceilings, "max", "metric=value absolute ceiling on the new report (repeatable); fail when the metric exceeds it or is absent")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] [-max metric=value]... old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,13 +67,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, ceilings); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, threshold float64) error {
+func run(oldPath, newPath string, threshold float64, ceilings []benchfmt.Ceiling) error {
 	oldRep, err := benchfmt.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -80,6 +113,20 @@ func run(oldPath, newPath string, threshold float64) error {
 			return fmt.Errorf("regression threshold exceeded")
 		}
 		fmt.Printf("\nno metric regressed beyond %.1f%%\n", threshold)
+	}
+	if len(ceilings) > 0 {
+		over, err := newRep.Exceeded(ceilings)
+		if err != nil {
+			return err
+		}
+		if len(over) > 0 {
+			fmt.Printf("\n%d metric(s) exceeded an absolute ceiling:\n", len(over))
+			for _, d := range over {
+				fmt.Printf("  %s %s: %s > limit %s\n", d.Bench, d.Metric, num(d.New), num(d.Old))
+			}
+			return fmt.Errorf("absolute ceiling exceeded")
+		}
+		fmt.Printf("all %d absolute ceiling(s) hold\n", len(ceilings))
 	}
 	return nil
 }

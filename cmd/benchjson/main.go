@@ -27,6 +27,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	// Derived cross-benchmark metrics (compressed_vs_native_ratio) ride
+	// the trajectory like any measured value.
+	rep.AddDerived()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -1,0 +1,94 @@
+package codedensity
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/machine"
+	"repro/internal/synth"
+)
+
+// FuzzFastPathDifferential pits the fused fast loop against the
+// instrumented Step path over fuzzer-shaped programs, native and through
+// every executable codec. The two engines share exec() but nothing of
+// their fetch plumbing, so any table-construction bug — wrong successor,
+// wrong expansion length, a counter charged differently — shows up as a
+// divergence in output, exit status, or the Stats counters. The hooked
+// machine counts TraceStep deliveries to prove the slow path actually ran.
+func FuzzFastPathDifferential(f *testing.F) {
+	f.Add(int64(7), uint16(900))
+	f.Add(int64(42), uint16(2500))
+	f.Add(int64(1997), uint16(1400))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16) {
+		prof, err := synth.ProfileFor("compress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof.Seed = seed
+		prof.TargetWords = 600 + int(size)%2400
+		p, err := synth.GenerateProfile(prof)
+		if err != nil {
+			t.Skip(err)
+		}
+
+		fastN, err := machine.NewForProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowN, err := machine.NewForProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePaths(t, "native", fastN, slowN)
+
+		for _, cd := range codec.Codecs() {
+			img, err := cd.Compress(p, codec.Options{})
+			if err != nil {
+				t.Fatalf("%s: compress: %v", cd.Name(), err)
+			}
+			ex, ok := img.(codec.Executable)
+			if !ok {
+				continue // size comparators have nothing to execute
+			}
+			fast, err := ex.NewMachine()
+			if err != nil {
+				t.Fatalf("%s: new machine: %v", cd.Name(), err)
+			}
+			slow, err := ex.NewMachine()
+			if err != nil {
+				t.Fatalf("%s: new machine: %v", cd.Name(), err)
+			}
+			comparePaths(t, cd.Name(), fast, slow)
+		}
+	})
+}
+
+// comparePaths runs fast bare and slow with a hook attached, then demands
+// identical errors, status, output, and counters.
+func comparePaths(t *testing.T, name string, fast, slow *machine.CPU) {
+	t.Helper()
+	const maxSteps = 50_000_000
+	var hooked int64
+	slow.TraceStep = func(machine.StepInfo) { hooked++ }
+	fs, ferr := fast.Run(maxSteps)
+	ss, serr := slow.Run(maxSteps)
+	if (ferr == nil) != (serr == nil) || (ferr != nil && ferr.Error() != serr.Error()) {
+		t.Fatalf("%s: error divergence: fast %v, slow %v", name, ferr, serr)
+	}
+	if hooked != slow.Stats.Steps {
+		t.Fatalf("%s: TraceStep fired %d times for %d steps", name, hooked, slow.Stats.Steps)
+	}
+	if ferr != nil {
+		return // matching faults; no architectural result to compare
+	}
+	if fs != ss {
+		t.Fatalf("%s: exit status fast %d, slow %d", name, fs, ss)
+	}
+	if !bytes.Equal(fast.Output(), slow.Output()) {
+		t.Fatalf("%s: output diverged (%d vs %d bytes)", name, len(fast.Output()), len(slow.Output()))
+	}
+	if fast.Stats != slow.Stats {
+		t.Fatalf("%s: stats diverged:\nfast %+v\nslow %+v", name, fast.Stats, slow.Stats)
+	}
+}

@@ -136,10 +136,11 @@ func (e *Engine) RunIDs(ctx context.Context, ids []string) ([]Result, error) {
 }
 
 // ResolveIDs maps experiment ids to runners; nil or empty selects every
-// registered experiment in paper order.
+// deterministic experiment in paper order (Timing experiments, whose
+// numbers are host-dependent, run only when named explicitly).
 func ResolveIDs(ids []string) ([]Runner, error) {
 	if len(ids) == 0 {
-		return append([]Runner(nil), Experiments...), nil
+		return Deterministic(), nil
 	}
 	out := make([]Runner, 0, len(ids))
 	for _, id := range ids {

@@ -40,13 +40,14 @@ func TestEngineDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(parResults) != len(Experiments) || len(seqResults) != len(Experiments) {
+	det := Deterministic()
+	if len(parResults) != len(det) || len(seqResults) != len(det) {
 		t.Fatalf("result counts: parallel %d sequential %d want %d",
-			len(parResults), len(seqResults), len(Experiments))
+			len(parResults), len(seqResults), len(det))
 	}
 	for i, r := range parResults {
-		if r.ID != Experiments[i].ID {
-			t.Errorf("result %d out of order: %s want %s", i, r.ID, Experiments[i].ID)
+		if r.ID != det[i].ID {
+			t.Errorf("result %d out of order: %s want %s", i, r.ID, det[i].ID)
 		}
 	}
 	p, s := renderAll(t, parResults), renderAll(t, seqResults)
@@ -179,8 +180,16 @@ func TestEngineCancellation(t *testing.T) {
 
 func TestResolveIDs(t *testing.T) {
 	all, err := ResolveIDs(nil)
-	if err != nil || len(all) != len(Experiments) {
+	if err != nil || len(all) != len(Deterministic()) {
 		t.Fatalf("ResolveIDs(nil) = %d runners, err %v", len(all), err)
+	}
+	for _, r := range all {
+		if r.Timing {
+			t.Errorf("ResolveIDs(nil) included timing experiment %q", r.ID)
+		}
+	}
+	if _, err := ResolveIDs([]string{"exec"}); err != nil {
+		t.Errorf("timing experiment not resolvable by name: %v", err)
 	}
 	two, err := ResolveIDs([]string{"fig5", "fig4"})
 	if err != nil || len(two) != 2 || two[0].ID != "fig5" || two[1].ID != "fig4" {

@@ -29,27 +29,46 @@ type Runner struct {
 	ID    string
 	Title string
 	Run   func(*Corpus) (*Table, error)
+
+	// Timing marks a wall-clock measurement experiment: its numbers vary
+	// with the host, so it is excluded from the default all-experiments
+	// selection (whose tables must be byte-identical run to run) and only
+	// runs when named explicitly.
+	Timing bool
+}
+
+// Deterministic returns the experiments whose tables reproduce
+// byte-for-byte — everything except the Timing runners. This is the set
+// nil/empty ResolveIDs expands to.
+func Deterministic() []Runner {
+	out := make([]Runner, 0, len(Experiments))
+	for _, r := range Experiments {
+		if !r.Timing {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Experiments lists every reproduced table and figure plus the extension
 // experiments, in paper order.
 var Experiments = []Runner{
-	{"fig1", "Distinct instruction encodings as a percentage of entire program", Fig1},
-	{"table1", "Usage of bits in branch offset field", Table1},
-	{"fig4", "Effect of dictionary entry size on compression ratio", Fig4},
-	{"fig5", "Effect of number of codewords on compression ratio", Fig5},
-	{"table2", "Maximum number of codewords used in baseline compression", Table2},
-	{"fig6", "Composition of dictionary by entry length (ijpeg)", Fig6},
-	{"fig7", "Bytes saved according to instruction length of dictionary entry (ijpeg)", Fig7},
-	{"fig8", "Compression ratio for 1-byte codewords (small dictionaries)", Fig8},
-	{"fig9", "Composition of compressed program (baseline, 8192 codewords)", Fig9},
-	{"fig11", "Nibble-aligned compression vs Unix Compress (LZW)", Fig11},
-	{"table3", "Prologue and epilogue code in benchmarks", Table3},
-	{"baselines", "Ext. A: dictionary schemes vs CCRP and Liao", ExtBaselines},
-	{"icache", "Ext. B: I-cache miss rate, original vs compressed", ExtICache},
-	{"penalty", "Ext. C: execution cost of the compressed fetch path", ExtPenalty},
-	{"ablation-selection", "Ablation: greedy vs static-order dictionary selection", AblationSelection},
-	{"ablation-alignment", "Ablation: unit-granular branch offsets vs padded targets", AblationAlignment},
+	{ID: "fig1", Title: "Distinct instruction encodings as a percentage of entire program", Run: Fig1},
+	{ID: "table1", Title: "Usage of bits in branch offset field", Run: Table1},
+	{ID: "fig4", Title: "Effect of dictionary entry size on compression ratio", Run: Fig4},
+	{ID: "fig5", Title: "Effect of number of codewords on compression ratio", Run: Fig5},
+	{ID: "table2", Title: "Maximum number of codewords used in baseline compression", Run: Table2},
+	{ID: "fig6", Title: "Composition of dictionary by entry length (ijpeg)", Run: Fig6},
+	{ID: "fig7", Title: "Bytes saved according to instruction length of dictionary entry (ijpeg)", Run: Fig7},
+	{ID: "fig8", Title: "Compression ratio for 1-byte codewords (small dictionaries)", Run: Fig8},
+	{ID: "fig9", Title: "Composition of compressed program (baseline, 8192 codewords)", Run: Fig9},
+	{ID: "fig11", Title: "Nibble-aligned compression vs Unix Compress (LZW)", Run: Fig11},
+	{ID: "table3", Title: "Prologue and epilogue code in benchmarks", Run: Table3},
+	{ID: "baselines", Title: "Ext. A: dictionary schemes vs CCRP and Liao", Run: ExtBaselines},
+	{ID: "icache", Title: "Ext. B: I-cache miss rate, original vs compressed", Run: ExtICache},
+	{ID: "penalty", Title: "Ext. C: execution cost of the compressed fetch path", Run: ExtPenalty},
+	{ID: "ablation-selection", Title: "Ablation: greedy vs static-order dictionary selection", Run: AblationSelection},
+	{ID: "ablation-alignment", Title: "Ablation: unit-granular branch offsets vs padded targets", Run: AblationAlignment},
 }
 
 // Find returns the runner with the given id.

@@ -24,15 +24,15 @@ func newNative(p *program.Program) (*machineCPU, error) { return machine.NewForP
 
 func init() {
 	Experiments = append(Experiments,
-		Runner{"standardize", "Ext. D: standardized prologues/epilogues (§5 compiler cooperation)", ExtStandardize},
-		Runner{"dictplace", "Ext. E: on-chip vs memory-resident dictionary (§3.3)", ExtDictPlacement},
-		Runner{"cycles", "Ext. F: end-to-end cycle model (decode penalty + cache misses)", ExtCycles},
-		Runner{"profiled", "Ext. G: profile-guided codeword assignment (dynamic ranking)", ExtProfiled},
-		Runner{"regalloc", "Ext. H: register-allocation consistency (§5's other proposal, inverted)", ExtRegalloc},
-		Runner{"refill", "Ext. I: dynamic refill traffic — dictionary scheme vs executable CCRP", ExtRefill},
-		Runner{"shared", "Ext. J: per-program vs fleet-wide shared ROM dictionary", ExtShared},
-		Runner{"crossover", "Ext. K: speed crossover — where the decode penalty pays for itself", ExtCrossover},
-		Runner{"scaling", "Ext. L: ratio stability and dictionary growth across program scales", ExtScaling},
+		Runner{ID: "standardize", Title: "Ext. D: standardized prologues/epilogues (§5 compiler cooperation)", Run: ExtStandardize},
+		Runner{ID: "dictplace", Title: "Ext. E: on-chip vs memory-resident dictionary (§3.3)", Run: ExtDictPlacement},
+		Runner{ID: "cycles", Title: "Ext. F: end-to-end cycle model (decode penalty + cache misses)", Run: ExtCycles},
+		Runner{ID: "profiled", Title: "Ext. G: profile-guided codeword assignment (dynamic ranking)", Run: ExtProfiled},
+		Runner{ID: "regalloc", Title: "Ext. H: register-allocation consistency (§5's other proposal, inverted)", Run: ExtRegalloc},
+		Runner{ID: "refill", Title: "Ext. I: dynamic refill traffic — dictionary scheme vs executable CCRP", Run: ExtRefill},
+		Runner{ID: "shared", Title: "Ext. J: per-program vs fleet-wide shared ROM dictionary", Run: ExtShared},
+		Runner{ID: "crossover", Title: "Ext. K: speed crossover — where the decode penalty pays for itself", Run: ExtCrossover},
+		Runner{ID: "scaling", Title: "Ext. L: ratio stability and dictionary growth across program scales", Run: ExtScaling},
 	)
 }
 

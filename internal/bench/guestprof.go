@@ -14,7 +14,7 @@ import (
 
 func init() {
 	Experiments = append(Experiments,
-		Runner{"guestprof", "Ext. M: symbolized guest profiles, native vs compressed", ExtGuestProf},
+		Runner{ID: "guestprof", Title: "Ext. M: symbolized guest profiles, native vs compressed", Run: ExtGuestProf},
 	)
 }
 

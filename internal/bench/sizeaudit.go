@@ -13,7 +13,7 @@ import (
 
 func init() {
 	Experiments = append(Experiments,
-		Runner{"sizeaudit", "Ext. N: byte provenance of the compressed image, per encoding", ExtSizeAudit},
+		Runner{ID: "sizeaudit", Title: "Ext. N: byte provenance of the compressed image, per encoding", Run: ExtSizeAudit},
 	)
 }
 

@@ -129,6 +129,64 @@ func parseBench(line string) (Benchmark, error) {
 	return b, nil
 }
 
+// AddDerived attaches metrics computed across benchmarks. Today that is
+// compressed_vs_native_ratio — BenchmarkCompressedExecution's ns/op over
+// BenchmarkNativeExecution's — stored on the compressed benchmark's
+// Metrics so the speed ratio itself rides the trajectory and is
+// regression-gated, not just the two raw times (which move together with
+// host speed; their quotient does not). A no-op when either side is
+// absent or the native time is zero.
+func (r *Report) AddDerived() {
+	nat, okN := r.Find("BenchmarkNativeExecution")
+	if !okN || nat.NsPerOp == 0 {
+		return
+	}
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		if b.Name != "BenchmarkCompressedExecution" {
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics["compressed_vs_native_ratio"] = b.NsPerOp / nat.NsPerOp
+	}
+}
+
+// Ceiling is one absolute bound on a metric: unlike the relative
+// Regressions gate, it fails on the value itself (e.g.
+// compressed_vs_native_ratio must stay under 1.15 no matter what the
+// baseline said).
+type Ceiling struct {
+	Metric string
+	Limit  float64
+}
+
+// Exceeded checks the report against a set of ceilings. It returns the
+// violating (bench, metric, value) entries, and an error if a ceiling
+// names a metric no benchmark in the report carries — a gate silently
+// checking nothing is the failure mode this exists to prevent.
+func (r *Report) Exceeded(ceilings []Ceiling) ([]MetricDelta, error) {
+	var out []MetricDelta
+	for _, c := range ceilings {
+		found := false
+		for _, b := range r.Benchmarks {
+			v, ok := b.Metrics[c.Metric]
+			if !ok {
+				continue
+			}
+			found = true
+			if v > c.Limit {
+				out = append(out, MetricDelta{Bench: b.Name, Metric: c.Metric, Old: c.Limit, New: v})
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ceiling metric %q not present in report", c.Metric)
+		}
+	}
+	return out, nil
+}
+
 // MetricDelta is one measurement's movement between two reports.
 type MetricDelta struct {
 	Bench  string  // benchmark name

@@ -13,9 +13,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/codeword"
 	"repro/internal/dictionary"
+	"repro/internal/machine"
 	"repro/internal/ppc"
 	"repro/internal/program"
 	"repro/internal/sizeaudit"
@@ -161,6 +163,11 @@ type Image struct {
 	DictionaryBytes int
 
 	Stats Stats
+
+	// predecode caches the decoded execution table (built lazily by
+	// Predecode). Sideband only: never serialized, never part of the
+	// compressed size; duplicate concurrent builds are benign.
+	predecode atomic.Pointer[machine.Predecode]
 }
 
 // CompressedBytes is the total compressed size: stream plus dictionary,

@@ -77,6 +77,31 @@ func (f *CompressedFrontend) RelTarget(cia uint32, field int32) uint32 {
 	return cia + uint32(field)
 }
 
+// PC returns the current fetch unit address.
+func (f *CompressedFrontend) PC() uint32 { return f.pc }
+
+// SetRawPC repositions fetch without validation and abandons any expansion
+// in progress — the fused loop's resynchronization hook. A bad address
+// faults on the next Fetch.
+func (f *CompressedFrontend) SetRawPC(pc uint32) {
+	f.pc = pc
+	f.queue = nil
+}
+
+// Predecode returns the image's predecoded table, or nil when this
+// frontend cannot use one: a memory-resident dictionary makes every
+// expanded instruction a distinct memory access the table does not model,
+// and an expansion already in progress holds queue state a table restart
+// would drop.
+func (f *CompressedFrontend) Predecode() *machine.Predecode {
+	if f.dictBase != 0 || len(f.queue) > 0 {
+		return nil
+	}
+	return f.img.Predecode()
+}
+
+var _ machine.PredecodedFrontend = (*CompressedFrontend)(nil)
+
 // Fetch returns the next instruction, expanding codewords as needed.
 func (f *CompressedFrontend) Fetch() (machine.FetchInfo, error) {
 	if len(f.queue) > 0 {
@@ -175,6 +200,9 @@ func NewMachine(img *Image) (*machine.CPU, error) {
 		return nil, err
 	}
 	cpu.GPR[1] = 0x7FF0_0000 - 64
+	if err := cpu.SnapshotReset(); err != nil {
+		return nil, err
+	}
 	return cpu, nil
 }
 

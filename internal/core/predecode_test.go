@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codeword"
+	"repro/internal/machine"
+	"repro/internal/ppc"
+)
+
+func TestPredecodeMatchesReader(t *testing.T) {
+	// Every slot of the predecoded table must describe exactly what
+	// codeword.Reader.At decodes at that unit offset — including interior
+	// offsets of multi-unit items, which the compressed PC space can
+	// legally address.
+	for _, scheme := range []codeword.Scheme{
+		codeword.Baseline, codeword.OneByte, codeword.Nibble, codeword.Liao,
+	} {
+		img, _ := compress(t, "compress", scheme)
+		pd := img.Predecode()
+		if pd != img.Predecode() {
+			t.Fatalf("%v: table not cached on the image", scheme)
+		}
+		if pd.Base != img.Base || pd.Shift != 0 || len(pd.Slots) != img.Units {
+			t.Fatalf("%v: table shape base=%#x shift=%d slots=%d", scheme, pd.Base, pd.Shift, len(pd.Slots))
+		}
+		rdr := codeword.NewReader(img.Scheme, img.Stream, img.Units)
+		unitBits := img.Scheme.UnitBits()
+		for u := 0; u < img.Units; u++ {
+			s := pd.Slots[u]
+			it, err := rdr.At(u)
+			if err != nil {
+				if !s.Fault {
+					t.Fatalf("%v: unit %d: reader faults (%v), slot does not", scheme, u, err)
+				}
+				continue
+			}
+			wantNext := img.Base + uint32(u+it.Units)
+			wantMem := uint8((it.Units*unitBits + 7) / 8)
+			if !it.IsCodeword {
+				inst := ppc.Decode(it.Word)
+				if inst.Op == ppc.OpInvalid {
+					if !s.Fault {
+						t.Fatalf("%v: unit %d: invalid raw word not a Fault slot", scheme, u)
+					}
+					continue
+				}
+				if s.Fault || s.Inst != inst || s.Next != wantNext ||
+					s.Rank != -1 || s.EntryLen != 1 || s.MemBytes != wantMem {
+					t.Fatalf("%v: unit %d: raw slot %+v, item %+v", scheme, u, s, it)
+				}
+				continue
+			}
+			if it.Rank >= len(img.Entries) || len(img.Entries[it.Rank].Words) == 0 {
+				// A torn decode can read a rank the dictionary does not
+				// have; the slow path owns that fault.
+				if !s.Fault {
+					t.Fatalf("%v: unit %d: rank %d beyond dictionary not a Fault slot", scheme, u, it.Rank)
+				}
+				continue
+			}
+			words := img.Entries[it.Rank].Words
+			if s.Fault {
+				t.Fatalf("%v: unit %d: decodable codeword marked Fault", scheme, u)
+			}
+			if s.Rank != int32(it.Rank) || int(s.EntryLen) != len(words) ||
+				s.Next != wantNext || s.MemBytes != wantMem || s.Inst != ppc.Decode(words[0]) {
+				t.Fatalf("%v: unit %d: codeword slot %+v, item %+v", scheme, u, s, it)
+			}
+			e := pd.Entries[it.Rank]
+			if len(e.Insts) != len(words) {
+				t.Fatalf("%v: entry %d cache holds %d insts for %d words", scheme, it.Rank, len(e.Insts), len(words))
+			}
+			for k, w := range words {
+				if e.Words[k] != w || e.Insts[k] != ppc.Decode(w) {
+					t.Fatalf("%v: entry %d word %d cached wrong", scheme, it.Rank, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFastSlowParityCompressed(t *testing.T) {
+	// A bare compressed machine (fused fast loop) and a hooked one
+	// (instrumented Step path) over the same image must agree on
+	// everything the architecture defines, with expansion exercised.
+	for _, scheme := range []codeword.Scheme{codeword.Baseline, codeword.Nibble} {
+		img, _ := compress(t, "compress", scheme)
+		fast, err := NewMachine(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := NewMachine(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hooked int64
+		slow.TraceStep = func(machine.StepInfo) { hooked++ }
+		fs, ferr := fast.Run(50_000_000)
+		ss, serr := slow.Run(50_000_000)
+		if ferr != nil || serr != nil {
+			t.Fatalf("%v: run errors: fast %v, slow %v", scheme, ferr, serr)
+		}
+		if fs != ss {
+			t.Fatalf("%v: status fast %d, slow %d", scheme, fs, ss)
+		}
+		if !bytes.Equal(fast.Output(), slow.Output()) {
+			t.Fatalf("%v: outputs differ (%d vs %d bytes)", scheme, len(fast.Output()), len(slow.Output()))
+		}
+		if fast.Stats != slow.Stats {
+			t.Fatalf("%v: stats fast %+v, slow %+v", scheme, fast.Stats, slow.Stats)
+		}
+		if hooked != slow.Stats.Steps || hooked == 0 {
+			t.Fatalf("%v: TraceStep fired %d times for %d steps", scheme, hooked, slow.Stats.Steps)
+		}
+		if fast.Stats.Expanded == 0 {
+			t.Fatalf("%v: no dictionary expansion exercised", scheme)
+		}
+	}
+}
+
+func TestMidItemJumpParity(t *testing.T) {
+	// Jump into the interior of a multi-unit item: SetPC accepts any
+	// in-range unit address, and what lives there is a torn decode the
+	// slow path resolves positionally. The fast path must produce the
+	// byte-identical outcome, whether that is an error or a (garbage but
+	// deterministic) execution.
+	img, _ := compress(t, "compress", codeword.Nibble)
+	rdr := codeword.NewReader(img.Scheme, img.Stream, img.Units)
+	mid := uint32(0)
+	found := false
+	for u := 0; u < img.Units; {
+		it, err := rdr.At(u)
+		if err != nil {
+			break
+		}
+		if it.Units > 1 {
+			mid = img.Base + uint32(u) + 1
+			found = true
+			break
+		}
+		u += it.Units
+	}
+	if !found {
+		t.Skip("no multi-unit item in the stream")
+	}
+	type outcome struct {
+		status int32
+		errStr string
+		out    string
+		stats  machine.Stats
+	}
+	run := func(hook bool) outcome {
+		cpu, err := NewMachine(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hook {
+			cpu.TraceExec = func(uint32, uint32) {}
+		}
+		if err := cpu.Frontend().SetPC(mid); err != nil {
+			t.Fatalf("mid-item SetPC rejected: %v", err)
+		}
+		st, err := cpu.Run(5000)
+		o := outcome{status: st, out: string(cpu.Output()), stats: cpu.Stats}
+		if err != nil {
+			o.errStr = err.Error()
+		}
+		return o
+	}
+	if fast, slow := run(false), run(true); fast != slow {
+		t.Fatalf("mid-item divergence at %#x:\nfast %+v\nslow %+v", mid, fast, slow)
+	}
+}
+
+func TestPredecodeUnavailable(t *testing.T) {
+	img, _ := compress(t, "compress", codeword.Nibble)
+	fe := NewCompressedFrontend(img)
+	if fe.Predecode() == nil {
+		t.Fatal("plain frontend refused to predecode")
+	}
+	fe.SetDictInMemory(0x0080_0000)
+	if fe.Predecode() != nil {
+		t.Fatal("memory-resident dictionary must force the instrumented path")
+	}
+
+	// Mid-expansion, the queue holds state a table restart would drop.
+	fe2 := NewCompressedFrontend(img)
+	if err := fe2.Reset(img.Base); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		fi, err := fe2.Fetch()
+		if err != nil {
+			t.Skip("stream faulted before a multi-instruction entry")
+		}
+		if !fi.NextOK {
+			if fe2.Predecode() != nil {
+				t.Fatal("mid-expansion predecode must be refused")
+			}
+			return
+		}
+	}
+	t.Skip("no multi-instruction entry in the walked prefix")
+}

@@ -65,6 +65,8 @@ type NormalFrontend struct {
 	pc  uint32
 	lo  uint32 // text bounds for early fault detection
 	hi  uint32
+
+	pd *Predecode // cached decode table for [lo, hi); see Predecode
 }
 
 // NewNormalFrontend builds the standard fetch path over text already
@@ -104,7 +106,28 @@ func (f *NormalFrontend) RelTarget(cia uint32, field int32) uint32 {
 	return cia + uint32(field)*4
 }
 
-var _ Frontend = (*NormalFrontend)(nil)
+// PC returns the current fetch address.
+func (f *NormalFrontend) PC() uint32 { return f.pc }
+
+// SetRawPC repositions fetch without validation — the fused loop's
+// resynchronization hook. A bad address faults on the next Fetch with the
+// same error SetPC would have produced.
+func (f *NormalFrontend) SetRawPC(pc uint32) { f.pc = pc }
+
+// Predecode returns the decode table for the text window, building it on
+// first use and rebuilding it when a store has hit the window since (the
+// store-generation check makes self-modifying code safe: the fused loop
+// additionally bails out mid-run the moment text is written).
+func (f *NormalFrontend) Predecode() *Predecode {
+	gen := f.mem.WatchStores(f.lo, f.hi)
+	if f.pd == nil || f.pd.gen != gen {
+		f.pd = PredecodeText(f.mem, f.lo, f.hi)
+		f.pd.gen = gen
+	}
+	return f.pd
+}
+
+var _ PredecodedFrontend = (*NormalFrontend)(nil)
 
 // WordsToBytes serializes instruction words big-endian for mapping into
 // memory.

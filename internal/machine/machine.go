@@ -85,6 +85,18 @@ type CPU struct {
 	branch takenBranch // control transfer of the instruction being executed
 	exited bool
 	status int32
+
+	snap *resetState // architectural state SnapshotReset captured, for Reset
+}
+
+// resetState is the architectural state Reset restores: registers plus the
+// entry PC. Memory contents are snapshotted by Memory.Snapshot.
+type resetState struct {
+	gpr [32]uint32
+	lr  uint32
+	ctr uint32
+	cr  uint32
+	pc  uint32
 }
 
 // BranchKind classifies the control transfer an executed instruction
@@ -147,7 +159,47 @@ func NewForProgram(p *program.Program) (*CPU, error) {
 		return nil, err
 	}
 	cpu.GPR[1] = stackTop - 64 // stack pointer with a red zone
+	if err := cpu.SnapshotReset(); err != nil {
+		return nil, err
+	}
 	return cpu, nil
+}
+
+// SnapshotReset captures the CPU's current architectural state — registers,
+// PC, and every memory region's contents — as the state Reset restores.
+// Constructors call it once setup is complete, so a freshly built machine
+// can be Run repeatedly without re-mapping ~MBs of memory per run.
+func (c *CPU) SnapshotReset() error {
+	pcer, ok := c.fe.(interface{ PC() uint32 })
+	if !ok {
+		return fmt.Errorf("machine: frontend %T cannot report its PC for snapshot", c.fe)
+	}
+	c.Mem.Snapshot()
+	c.snap = &resetState{gpr: c.GPR, lr: c.LR, ctr: c.CTR, cr: c.CR, pc: pcer.PC()}
+	return nil
+}
+
+// Reset rewinds the machine to its SnapshotReset state: registers, memory,
+// PC, accumulated output, exit state, and Stats all return to their
+// post-construction values, reusing every allocation. Hooks (TraceFetch,
+// TraceExec, TraceStep, Record, Heat) are left attached.
+func (c *CPU) Reset() error {
+	if c.snap == nil {
+		return fmt.Errorf("machine: Reset without a prior SnapshotReset")
+	}
+	if err := c.Mem.Reset(); err != nil {
+		return err
+	}
+	c.GPR = c.snap.gpr
+	c.LR = c.snap.lr
+	c.CTR = c.snap.ctr
+	c.CR = c.snap.cr
+	c.out.Reset()
+	c.Stats = Stats{}
+	c.branch = takenBranch{}
+	c.exited = false
+	c.status = 0
+	return c.fe.Reset(c.snap.pc)
 }
 
 // EnableHeat allocates the dictionary-entry heat map for a dictionary of
@@ -167,6 +219,11 @@ func (c *CPU) Exited() (bool, int32) { return c.exited, c.status }
 // Run executes until SysExit or the step budget is exhausted. It returns
 // the exit status. Exceeding the budget or any architectural fault is an
 // error.
+//
+// When every hook (TraceFetch/TraceExec/TraceStep/Record/Heat) is nil and
+// the frontend supplies a predecode table, Run drives the fused
+// fetch+execute fast loop; attaching any hook transparently selects the
+// instrumented Step path, so observability features see every event.
 func (c *CPU) Run(maxSteps int64) (int32, error) {
 	if c.Record != nil {
 		before := c.Stats
@@ -176,6 +233,22 @@ func (c *CPU) Run(maxSteps int64) (int32, error) {
 			c.Record.Add("machine.fetched_bytes", c.Stats.FetchedBytes-before.FetchedBytes)
 		}()
 	}
+	if c.TraceFetch == nil && c.TraceExec == nil && c.TraceStep == nil &&
+		c.Record == nil && c.Heat == nil {
+		if fe, ok := c.fe.(PredecodedFrontend); ok {
+			if pd := fe.Predecode(); pd != nil {
+				return c.runFast(fe, pd, maxSteps)
+			}
+		}
+	}
+	return c.runSlow(maxSteps)
+}
+
+// runSlow is the instrumented reference loop: one Step per instruction,
+// every hook honored. The fused fast loop delegates here whenever
+// anything unusual happens, so faults and edge cases have exactly one
+// implementation.
+func (c *CPU) runSlow(maxSteps int64) (int32, error) {
 	for c.Stats.Steps < maxSteps {
 		if err := c.Step(); err != nil {
 			return 0, err
@@ -223,13 +296,16 @@ func (c *CPU) Step() error {
 		if c.Heat != nil && fi.EntryRank < len(c.Heat) {
 			c.Heat[fi.EntryRank]++
 		}
-		c.Record.ObserveValue("machine.expansion_len", int64(fi.EntryLen))
+		if c.Record != nil {
+			c.Record.ObserveValue("machine.expansion_len", int64(fi.EntryLen))
+		}
 	}
 	if c.TraceExec != nil {
 		c.TraceExec(fi.CIA, fi.Word)
 	}
 	c.branch = takenBranch{}
-	err = c.exec(fi)
+	i := ppc.Decode(fi.Word)
+	err = c.exec(&i, fi.Word, fi.CIA, fi.Next, fi.NextOK)
 	if c.TraceStep != nil {
 		c.TraceStep(StepInfo{FetchInfo: fi, Branch: c.branch.Kind, Target: c.branch.Target})
 	}
@@ -244,12 +320,15 @@ func (c *CPU) branchTo(target uint32, kind BranchKind) error {
 	return c.fe.SetPC(target)
 }
 
-func (c *CPU) exec(fi FetchInfo) error {
-	i := ppc.Decode(fi.Word)
+// exec applies one decoded instruction. cia/next/nextOK are the fetch
+// addresses in the active frontend's PC space; word is the raw encoding,
+// kept only for error text. Both the instrumented Step path and the fused
+// fast loop call this, so architectural semantics live in one place.
+func (c *CPU) exec(i *ppc.Inst, word, cia, next uint32, nextOK bool) error {
 	g := &c.GPR
 	switch i.Op {
 	case ppc.OpInvalid:
-		return fmt.Errorf("machine: illegal instruction %08x at %#x", fi.Word, fi.CIA)
+		return fmt.Errorf("machine: illegal instruction %08x at %#x", word, cia)
 
 	case ppc.OpAddi:
 		g[i.RT] = c.regOrZero(i.RA) + uint32(i.Imm)
@@ -485,37 +564,37 @@ func (c *CPU) exec(fi FetchInfo) error {
 
 	case ppc.OpB:
 		if i.AA {
-			return fmt.Errorf("machine: absolute branch at %#x unsupported", fi.CIA)
+			return fmt.Errorf("machine: absolute branch at %#x unsupported", cia)
 		}
 		if i.LK {
-			if !fi.NextOK {
-				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			if !nextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", cia)
 			}
-			c.LR = fi.Next
+			c.LR = next
 		}
-		return c.branchTo(c.fe.RelTarget(fi.CIA, i.Imm>>2), linkKind(i.LK))
+		return c.branchTo(c.fe.RelTarget(cia, i.Imm>>2), linkKind(i.LK))
 	case ppc.OpBc:
 		if i.AA {
-			return fmt.Errorf("machine: absolute branch at %#x unsupported", fi.CIA)
+			return fmt.Errorf("machine: absolute branch at %#x unsupported", cia)
 		}
 		taken := c.branchCond(i.BO, i.BI)
 		if i.LK {
-			if !fi.NextOK {
-				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			if !nextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", cia)
 			}
-			c.LR = fi.Next
+			c.LR = next
 		}
 		if taken {
-			return c.branchTo(c.fe.RelTarget(fi.CIA, i.Imm>>2), linkKind(i.LK))
+			return c.branchTo(c.fe.RelTarget(cia, i.Imm>>2), linkKind(i.LK))
 		}
 	case ppc.OpBclr:
 		taken := c.branchCond(i.BO, i.BI)
 		target := c.LR
 		if i.LK {
-			if !fi.NextOK {
-				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			if !nextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", cia)
 			}
-			c.LR = fi.Next
+			c.LR = next
 		}
 		if taken {
 			kind := BranchReturn
@@ -527,10 +606,10 @@ func (c *CPU) exec(fi FetchInfo) error {
 	case ppc.OpBcctr:
 		taken := c.branchCond(i.BO, i.BI)
 		if i.LK {
-			if !fi.NextOK {
-				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", fi.CIA)
+			if !nextOK {
+				return fmt.Errorf("machine: link branch with unaddressable successor at %#x", cia)
 			}
-			c.LR = fi.Next
+			c.LR = next
 		}
 		if taken {
 			return c.branchTo(c.CTR, linkKind(i.LK))
@@ -541,7 +620,7 @@ func (c *CPU) exec(fi FetchInfo) error {
 		return c.syscall()
 
 	default:
-		return fmt.Errorf("machine: unimplemented op %v at %#x", i.Op, fi.CIA)
+		return fmt.Errorf("machine: unimplemented op %v at %#x", i.Op, cia)
 	}
 	return nil
 }

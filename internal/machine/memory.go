@@ -11,12 +11,26 @@ import (
 // silent corruption.
 type Memory struct {
 	regions []region
+
+	// storeGen counts stores into watched regions (see WatchStores). The
+	// predecoded fetch path compares it per step to notice text modified
+	// behind a decode table's back.
+	storeGen uint64
+
+	snapped bool   // Snapshot has run; Reset is permitted
+	snapGen uint64 // storeGen at Snapshot time
 }
 
 type region struct {
 	name string
 	base uint32
 	data []byte
+
+	// init holds the pristine copy Reset restores; nil means the region
+	// was all-zero at Snapshot time and is zero-filled instead (a 1MB
+	// stack never earns a copy).
+	init  []byte
+	watch bool // stores here advance storeGen
 }
 
 // NewMemory returns an empty memory.
@@ -48,6 +62,91 @@ func (m *Memory) find(addr uint32, n int) ([]byte, error) {
 	return nil, fmt.Errorf("machine: fault at %#x (%d bytes)", addr, n)
 }
 
+// findW is find for stores: a hit in a watched region advances the store
+// generation before the caller writes through the returned slice.
+func (m *Memory) findW(addr uint32, n int) ([]byte, error) {
+	for i := range m.regions {
+		r := &m.regions[i]
+		if addr >= r.base && uint64(addr)+uint64(n) <= uint64(r.base)+uint64(len(r.data)) {
+			if r.watch {
+				m.storeGen++
+			}
+			off := addr - r.base
+			return r.data[off : off+uint32(n)], nil
+		}
+	}
+	return nil, fmt.Errorf("machine: fault at %#x (%d bytes)", addr, n)
+}
+
+// WatchStores marks every region overlapping [lo, hi) so that stores into
+// it advance the store-generation counter, and returns the current
+// generation. Predecode-table owners call it to learn whether text has
+// changed since a table was built.
+func (m *Memory) WatchStores(lo, hi uint32) uint64 {
+	for i := range m.regions {
+		r := &m.regions[i]
+		rEnd := uint64(r.base) + uint64(len(r.data))
+		if uint64(lo) < rEnd && uint64(hi) > uint64(r.base) {
+			r.watch = true
+		}
+	}
+	return m.storeGen
+}
+
+// Snapshot records each region's current contents as the state Reset
+// restores. Regions that are all-zero at snapshot time (stacks, BSS) are
+// recorded implicitly and zero-filled on Reset instead of copied.
+func (m *Memory) Snapshot() {
+	for i := range m.regions {
+		r := &m.regions[i]
+		if allZero(r.data) {
+			r.init = nil
+		} else {
+			r.init = append([]byte(nil), r.data...)
+		}
+	}
+	m.snapped = true
+	m.snapGen = m.storeGen
+}
+
+// Reset restores every region to its Snapshot contents, reusing the
+// backing arrays. If any watched store happened since the snapshot, the
+// store generation advances once more: the restored bytes differ from
+// what a predecode table built after that store saw.
+func (m *Memory) Reset() error {
+	if !m.snapped {
+		return fmt.Errorf("machine: memory Reset without a prior Snapshot")
+	}
+	for i := range m.regions {
+		r := &m.regions[i]
+		if r.init == nil {
+			clear(r.data)
+		} else {
+			copy(r.data, r.init)
+		}
+	}
+	if m.storeGen != m.snapGen {
+		m.storeGen++
+		m.snapGen = m.storeGen
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.BigEndian.Uint64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Load8 reads one byte.
 func (m *Memory) Load8(addr uint32) (uint8, error) {
 	b, err := m.find(addr, 1)
@@ -77,7 +176,7 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 
 // Store8 writes one byte.
 func (m *Memory) Store8(addr uint32, v uint8) error {
-	b, err := m.find(addr, 1)
+	b, err := m.findW(addr, 1)
 	if err != nil {
 		return err
 	}
@@ -87,7 +186,7 @@ func (m *Memory) Store8(addr uint32, v uint8) error {
 
 // Store16 writes a big-endian halfword.
 func (m *Memory) Store16(addr uint32, v uint16) error {
-	b, err := m.find(addr, 2)
+	b, err := m.findW(addr, 2)
 	if err != nil {
 		return err
 	}
@@ -97,7 +196,7 @@ func (m *Memory) Store16(addr uint32, v uint16) error {
 
 // Store32 writes a big-endian word.
 func (m *Memory) Store32(addr uint32, v uint32) error {
-	b, err := m.find(addr, 4)
+	b, err := m.findW(addr, 4)
 	if err != nil {
 		return err
 	}
