@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff lint-dispatch check bench bench-json bench-exec bench-diff sizeaudit
+.PHONY: all build vet test race smoke diff lint-dispatch lint-fastpath check bench bench-json bench-exec bench-diff sizeaudit
 
 all: check
 
@@ -43,7 +43,23 @@ lint-dispatch:
 		exit 1; \
 	fi
 
-check: vet build lint-dispatch diff race smoke
+# Fast-path purity gate: the fused loop in predecode.go must never call a
+# telemetry sink directly — no hooks, no stats recorder, no observer, no
+# trace spans. All observability drains through the amortized epoch
+# helpers in fastpath.go (note/drainEpoch/beginFast/endFast); a sink
+# identifier appearing in predecode.go means someone put per-step work
+# back on the hot path (see DESIGN.md, "Observability").
+lint-fastpath:
+	@found=$$(grep -nE 'Record|TraceFetch|TraceExec|TraceStep|Heat|sampleRec|sampleObs|stats\.|ObserveValue|ObserveEpoch|epochSpan' \
+		internal/machine/predecode.go || true); \
+	if [ -n "$$found" ]; then \
+		echo "$$found"; \
+		echo 'lint-fastpath: telemetry sink referenced inside the fused fast path'; \
+		echo 'lint-fastpath: drain through the epoch helpers in fastpath.go instead (DESIGN.md, "Observability")'; \
+		exit 1; \
+	fi
+
+check: vet build lint-dispatch lint-fastpath diff race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -53,7 +69,7 @@ bench:
 # BENCH_dictionary.json (ns/op, B/op, allocs/op, and histogram quantiles
 # such as selbits-p50/p90/p99 and explen-p50/p90/p99).
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
 	@echo wrote BENCH_dictionary.json
 
@@ -62,16 +78,21 @@ bench-json:
 # compressed_vs_native_ratio metric — the quick loop while working on the
 # execution engine, without the multi-minute dictionary sweeps.
 bench-exec:
-	$(GO) test -run '^$$' -bench '^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_exec.json
 	@echo wrote BENCH_exec.json
 
 # Compare a fresh bench-json run against the committed trajectory.
 # Usage: make bench-diff NEW=BENCH_new.json [THRESHOLD=30] [RATIO_MAX=1.15]
+#        [SAMPLED_MAX=1.10]
 THRESHOLD ?= 30
 RATIO_MAX ?= 1.15
+SAMPLED_MAX ?= 1.10
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) -max compressed_vs_native_ratio=$(RATIO_MAX) BENCH_dictionary.json $(NEW)
+	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) \
+		-max compressed_vs_native_ratio=$(RATIO_MAX) \
+		-max sampled_profiling_overhead_ratio=$(SAMPLED_MAX) \
+		BENCH_dictionary.json $(NEW)
 
 # Byte-provenance table (stdout) plus per-benchmark JSON/CSV/folded
 # audit files under audits/.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/codeword"
 	"repro/internal/core"
 	"repro/internal/dictionary"
+	"repro/internal/guestprof"
 	"repro/internal/huffman"
 	"repro/internal/lzw"
 	"repro/internal/machine"
@@ -292,6 +293,38 @@ func BenchmarkCompressedExecution(b *testing.B) {
 	steps := benchRepeatRuns(b, cpu)
 	b.ReportMetric(float64(steps), "steps/op")
 	reportHist(b, rec, "machine.expansion_len", "explen")
+}
+
+// BenchmarkSampledExecution is BenchmarkCompressedExecution with the
+// epoch-sampled guest profiler attached — the always-on observability
+// configuration. The run must stay on the fused fast path (faststeps/op
+// equals steps/op); benchdiff derives fastpath_coverage and
+// sampled_profiling_overhead_ratio from this pair and CI pins the latter
+// at 1.10.
+func BenchmarkSampledExecution(b *testing.B) {
+	p := benchProgram(b, "perl")
+	img, err := core.Compress(p.Clone(), Options{Scheme: Nibble})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sym, err := img.GuestSymTab()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := core.NewMachine(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu.EnableEpochSampling(stats.New(), guestprof.NewSampled(sym))
+	steps := benchRepeatRuns(b, cpu)
+	// The fold of the final partial epoch lands here, outside the timed
+	// region — in serving, folds happen on the epoch cadence, not per Run.
+	cpu.FlushEpoch()
+	if cpu.Fast.Steps != cpu.Stats.Steps {
+		b.Fatalf("sampling knocked the run off the fast path: %s", cpu.Fast.BailSummary())
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+	b.ReportMetric(float64(cpu.Fast.Steps), "faststeps/op")
 }
 
 // reportHist reports a recorded histogram's quantiles as custom benchmark

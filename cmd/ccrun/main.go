@@ -8,6 +8,7 @@
 //	ccrun -cache 1024 -profile run.json prog.ppz   # JSON execution profile
 //	ccrun -guestprof prog.ppz                      # per-function cycle table
 //	ccrun -guestprof -folded out.folded prog.ppz   # flamegraph input
+//	ccrun -sampledprof prog.ppz                    # fast-path sampled profile
 //	ccrun -sizeaudit prog.ppz                      # static byte-provenance audit
 package main
 
@@ -37,6 +38,7 @@ func main() {
 	profile := flag.String("profile", "", "write a JSON execution profile (hot dictionary entries, expansion histogram, cache miss curve) to this path; \"-\" means stdout")
 	sample := flag.Int64("sample", 4096, "with -profile and -cache, record a cache miss-curve point every N line accesses")
 	guestProf := flag.Bool("guestprof", false, "attribute cycles to guest functions (exact, symbolized); prints a top-20 table to stderr and adds a \"guest\" section to -profile output")
+	sampledProf := flag.Bool("sampledprof", false, "attribute cycles to guest functions by epoch-sampling the fused fast path (flat-only, no slowdown); prints the fast-path summary and top table to stderr and fills the \"guest\" section of -profile output")
 	sizeAudit := flag.Bool("sizeaudit", false, "for .ppz inputs: print the image's byte-provenance audit to stderr and add a \"size\" section to -profile output")
 	folded := flag.String("folded", "", "with -guestprof, write folded call stacks (flamegraph input) to this path; \"-\" means stdout")
 	topN := flag.Int("top", 20, "with -guestprof, rows in the per-function table (0 = all)")
@@ -58,6 +60,21 @@ func main() {
 	var sym *guestprof.SymTab
 	var sa *sizeaudit.Audit
 	wantGuest := *guestProf || *folded != ""
+	if *sampledProf {
+		// The sampled profiler is the fast path observed from epoch
+		// boundaries; hooks that force the instrumented Step path defeat
+		// its point, so the combinations are rejected rather than silently
+		// measured slow.
+		switch {
+		case wantGuest:
+			fatal(fmt.Errorf("-sampledprof and -guestprof are mutually exclusive (exact profiling runs the instrumented path)"))
+		case *cacheSize > 0:
+			fatal(fmt.Errorf("-sampledprof cannot run with -cache (cache simulation needs the per-fetch hook)"))
+		case *trace > 0:
+			fatal(fmt.Errorf("-sampledprof cannot run with -trace (tracing needs the per-exec hook)"))
+		}
+	}
+	wantSym := wantGuest || *sampledProf
 	switch {
 	case strings.HasSuffix(path, ".ppz"):
 		// The frame's method byte selects the codec; no scheme flag needed.
@@ -85,11 +102,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if wantGuest {
+		if wantSym {
 			// Compressed runs symbolize through the image's address map, so
 			// cycles land on the original program's function names.
 			if img == nil {
-				fatal(fmt.Errorf("-guestprof needs a dictionary image; %T carries no address map", oi))
+				fatal(fmt.Errorf("guest profiling needs a dictionary image; %T carries no address map", oi))
 			}
 			if sym, err = img.GuestSymTab(); err != nil {
 				fatal(err)
@@ -107,13 +124,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if wantGuest {
+		if wantSym {
 			sym = guestprof.NewProgramSymTab(p)
 		}
 	}
 
 	var rec *stats.Recorder
-	if *profile != "" {
+	var sp *guestprof.SampledProfiler
+	if *sampledProf {
+		// One recorder serves both sampling and -profile; unlike cpu.Record
+		// it is not a hook, so the run stays on the fused fast path.
+		rec = stats.New()
+		sp = guestprof.NewSampled(sym)
+		cpu.EnableEpochSampling(rec, sp)
+	} else if *profile != "" {
 		rec = stats.New()
 		cpu.Record = rec
 		if img != nil {
@@ -139,7 +163,7 @@ func main() {
 	}
 
 	var gp *guestprof.Profiler
-	if sym != nil {
+	if wantGuest {
 		gp = guestprof.New(sym)
 		gp.ObserveCache(ic)
 		gp.Attach(cpu)
@@ -159,12 +183,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Fold the final partial telemetry epoch so the sampled profile and
+	// heat map cover the whole run.
+	cpu.FlushEpoch()
 	os.Stdout.Write(cpu.Output())
 	st := cpu.Stats
 	fmt.Fprintf(os.Stderr, "exit status %d\n", status)
 	fmt.Fprintf(os.Stderr, "steps %d, taken branches %d, syscalls %d\n", st.Steps, st.TakenBranches, st.Syscalls)
 	fmt.Fprintf(os.Stderr, "program-memory fetches %d (%d bytes), dictionary expansions %d\n",
 		st.MemFetches, st.FetchedBytes, st.Expanded)
+	fmt.Fprintf(os.Stderr, "fastpath: %d/%d steps (coverage %.4f), bails: %s\n",
+		cpu.Fast.Steps, st.Steps, cpu.Fast.Coverage(st.Steps), cpu.Fast.BailSummary())
+	if cpu.Fast.Epochs > 0 {
+		fmt.Fprintf(os.Stderr, "fastpath: %d telemetry epochs drained\n", cpu.Fast.Epochs)
+	}
 	if ic != nil {
 		fmt.Fprintf(os.Stderr, "icache: %d accesses, %d misses (%.2f%%)\n",
 			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
@@ -191,6 +223,17 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if sp != nil {
+		guest = sp.Profile(path)
+		fmt.Fprintln(os.Stderr)
+		if err := guest.WriteTop(os.Stderr, *topN); err != nil {
+			fatal(err)
+		}
+		// The reconstructed heat map feeds the profile's hot-entry section
+		// exactly as the slow path's heat hook would have; assigning it
+		// after Run keeps the run itself unhooked.
+		cpu.Heat = sp.Heat()
 	}
 
 	if *profile != "" {

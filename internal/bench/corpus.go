@@ -115,6 +115,10 @@ func (c *Corpus) WithSpan(sp *trace.Span) *Corpus {
 // still a valid sink).
 func (c *Corpus) Recorder() *stats.Recorder { return c.rec }
 
+// Span returns the view's parent trace span (nil on an untraced view —
+// still a valid parent).
+func (c *Corpus) Span() *trace.Span { return c.sp }
+
 // err reports the view's cancellation state.
 func (c *Corpus) err() error {
 	if c.ctx == nil {

@@ -129,28 +129,58 @@ func parseBench(line string) (Benchmark, error) {
 	return b, nil
 }
 
-// AddDerived attaches metrics computed across benchmarks. Today that is
-// compressed_vs_native_ratio — BenchmarkCompressedExecution's ns/op over
-// BenchmarkNativeExecution's — stored on the compressed benchmark's
-// Metrics so the speed ratio itself rides the trajectory and is
-// regression-gated, not just the two raw times (which move together with
-// host speed; their quotient does not). A no-op when either side is
-// absent or the native time is zero.
+// AddDerived attaches metrics computed across benchmarks, stored on a
+// benchmark's Metrics so each ratio itself rides the trajectory and is
+// regression-gated, not just the raw values (which move together with
+// host speed; their quotients do not):
+//
+//   - compressed_vs_native_ratio: BenchmarkCompressedExecution's ns/op
+//     over BenchmarkNativeExecution's — the cost of executing compressed.
+//   - sampled_profiling_overhead_ratio: BenchmarkSampledExecution's ns/op
+//     over BenchmarkCompressedExecution's — the cost of always-on
+//     epoch-sampled profiling over the bare fast path (CI ceiling 1.10).
+//   - fastpath_coverage: BenchmarkSampledExecution's faststeps/op over its
+//     steps/op — the share of execution the fused loop supplied.
+//
+// Each derivation is independently a no-op when a side is absent or its
+// denominator is zero.
 func (r *Report) AddDerived() {
-	nat, okN := r.Find("BenchmarkNativeExecution")
-	if !okN || nat.NsPerOp == 0 {
+	r.deriveRatio("BenchmarkCompressedExecution", "compressed_vs_native_ratio",
+		"BenchmarkNativeExecution")
+	r.deriveRatio("BenchmarkSampledExecution", "sampled_profiling_overhead_ratio",
+		"BenchmarkCompressedExecution")
+	if b := r.find("BenchmarkSampledExecution"); b != nil {
+		steps, fast := b.Metrics["steps/op"], b.Metrics["faststeps/op"]
+		if steps > 0 {
+			b.Metrics["fastpath_coverage"] = fast / steps
+		}
+	}
+}
+
+// find returns a mutable pointer to the named benchmark, nil when absent.
+func (r *Report) find(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// deriveRatio stores name's ns/op over base's ns/op as metric on name.
+func (r *Report) deriveRatio(name, metric, base string) {
+	bb, ok := r.Find(base)
+	if !ok || bb.NsPerOp == 0 {
 		return
 	}
-	for i := range r.Benchmarks {
-		b := &r.Benchmarks[i]
-		if b.Name != "BenchmarkCompressedExecution" {
-			continue
-		}
-		if b.Metrics == nil {
-			b.Metrics = map[string]float64{}
-		}
-		b.Metrics["compressed_vs_native_ratio"] = b.NsPerOp / nat.NsPerOp
+	b := r.find(name)
+	if b == nil {
+		return
 	}
+	if b.Metrics == nil {
+		b.Metrics = map[string]float64{}
+	}
+	b.Metrics[metric] = b.NsPerOp / bb.NsPerOp
 }
 
 // Ceiling is one absolute bound on a metric: unlike the relative
@@ -181,10 +211,29 @@ func (r *Report) Exceeded(ceilings []Ceiling) ([]MetricDelta, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("ceiling metric %q not present in report", c.Metric)
+			return nil, fmt.Errorf("ceiling metric %q not present in report (metrics present: %s)",
+				c.Metric, strings.Join(r.MetricNames(), ", "))
 		}
 	}
 	return out, nil
+}
+
+// MetricNames returns every custom metric name any benchmark in the
+// report carries, sorted and deduplicated — so a misspelled gate can be
+// diagnosed from its own error message.
+func (r *Report) MetricNames() []string {
+	seen := map[string]bool{}
+	for _, b := range r.Benchmarks {
+		for m := range b.Metrics {
+			seen[m] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for m := range seen {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MetricDelta is one measurement's movement between two reports.

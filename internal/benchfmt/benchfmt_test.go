@@ -93,6 +93,75 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestAddDerived(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkNativeExecution", NsPerOp: 200},
+		{Name: "BenchmarkCompressedExecution", NsPerOp: 220},
+		{Name: "BenchmarkSampledExecution", NsPerOp: 231,
+			Metrics: map[string]float64{"steps/op": 16000, "faststeps/op": 15840}},
+	}}
+	rep.AddDerived()
+	comp, _ := rep.Find("BenchmarkCompressedExecution")
+	if got := comp.Metrics["compressed_vs_native_ratio"]; got != 1.1 {
+		t.Fatalf("compressed_vs_native_ratio = %v", got)
+	}
+	samp, _ := rep.Find("BenchmarkSampledExecution")
+	if got := samp.Metrics["sampled_profiling_overhead_ratio"]; got != 1.05 {
+		t.Fatalf("sampled_profiling_overhead_ratio = %v", got)
+	}
+	if got := samp.Metrics["fastpath_coverage"]; got != 0.99 {
+		t.Fatalf("fastpath_coverage = %v", got)
+	}
+}
+
+func TestAddDerivedPartialReport(t *testing.T) {
+	// Each derivation is independent: with no native baseline, only the
+	// sampling-derived metrics appear.
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCompressedExecution", NsPerOp: 220},
+		{Name: "BenchmarkSampledExecution", NsPerOp: 242,
+			Metrics: map[string]float64{"steps/op": 100, "faststeps/op": 100}},
+	}}
+	rep.AddDerived()
+	comp, _ := rep.Find("BenchmarkCompressedExecution")
+	if _, ok := comp.Metrics["compressed_vs_native_ratio"]; ok {
+		t.Fatal("ratio derived without its baseline")
+	}
+	samp, _ := rep.Find("BenchmarkSampledExecution")
+	if got := samp.Metrics["sampled_profiling_overhead_ratio"]; got != 1.1 {
+		t.Fatalf("sampled_profiling_overhead_ratio = %v", got)
+	}
+	if got := samp.Metrics["fastpath_coverage"]; got != 1 {
+		t.Fatalf("fastpath_coverage = %v", got)
+	}
+}
+
+func TestExceeded(t *testing.T) {
+	rep := parseSample(t)
+	over, err := rep.Exceeded([]Ceiling{{Metric: "ratio", Limit: 0.4}})
+	if err != nil || len(over) != 1 || over[0].New != 0.45 {
+		t.Fatalf("exceeded = %+v, err %v", over, err)
+	}
+	over, err = rep.Exceeded([]Ceiling{{Metric: "ratio", Limit: 0.5}})
+	if err != nil || len(over) != 0 {
+		t.Fatalf("under-ceiling = %+v, err %v", over, err)
+	}
+}
+
+func TestExceededAbsentMetricListsPresent(t *testing.T) {
+	rep := parseSample(t)
+	_, err := rep.Exceeded([]Ceiling{{Metric: "no_such_metric", Limit: 1}})
+	if err == nil {
+		t.Fatal("absent ceiling metric accepted")
+	}
+	// The failure is self-diagnosing: it names the metrics that DO exist.
+	for _, want := range []string{"no_such_metric", "ratio", "selbits-p99"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestMetricDeltaPctZeroOld(t *testing.T) {
 	if p := (MetricDelta{Old: 0, New: 5}).Pct(); p != 100 {
 		t.Fatalf("pct from zero = %v", p)

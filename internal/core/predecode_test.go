@@ -185,22 +185,57 @@ func TestPredecodeUnavailable(t *testing.T) {
 		t.Fatal("memory-resident dictionary must force the instrumented path")
 	}
 
-	// Mid-expansion, the queue holds state a table restart would drop.
-	fe2 := NewCompressedFrontend(img)
-	if err := fe2.Reset(img.Base); err != nil {
+	// The refusal is not silent: a whole Run on such a machine lands in
+	// the frontend_refused bail counter with zero fast-path coverage.
+	cpu, err := NewMachineDictInMemory(img, 0x0080_0000)
+	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 5000; i++ {
-		fi, err := fe2.Fetch()
-		if err != nil {
-			t.Skip("stream faulted before a multi-instruction entry")
+	if _, err := cpu.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Fast.Bails[machine.BailFrontendRefused]; got != 1 {
+		t.Fatalf("frontend_refused bail %d after a refused run (bails: %s)", got, cpu.Fast.BailSummary())
+	}
+	if cpu.Fast.Steps != 0 || cpu.Fast.Coverage(cpu.Stats.Steps) != 0 {
+		t.Fatalf("refused run reports fast-path work: %+v", cpu.Fast)
+	}
+
+	// Mid-expansion, the queue holds state a table restart would drop.
+	// A fetch-walk index cannot predict where the machine parks: a taken
+	// branch as the budgeted instruction drops the queue via SetPC. So
+	// budget an instrumented machine out one step at a time until ITS OWN
+	// frontend refuses the table.
+	mcpu, err := NewMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcpu.TraceExec = func(uint32, uint32) {}
+	mfe := mcpu.Frontend().(machine.PredecodedFrontend)
+	parked := false
+	for k := int64(1); k <= 5000; k++ {
+		if _, err := mcpu.Run(k); err == nil {
+			break // program exited before parking mid-expansion
 		}
-		if !fi.NextOK {
-			if fe2.Predecode() != nil {
-				t.Fatal("mid-expansion predecode must be refused")
-			}
-			return
+		if mfe.Predecode() == nil {
+			parked = true
+			break
 		}
 	}
-	t.Skip("no multi-instruction entry in the walked prefix")
+	if !parked {
+		t.Skip("no step budget parks this program mid-expansion")
+	}
+	// Run-level visibility: detach the hook, and the resumed Run is
+	// refused the table — counted, not silent.
+	mcpu.TraceExec = nil
+	if _, err := mcpu.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := mcpu.Fast.Bails[machine.BailFrontendRefused]; got != 1 {
+		t.Fatalf("frontend_refused bail %d after mid-expansion resume (bails: %s)",
+			got, mcpu.Fast.BailSummary())
+	}
+	if mcpu.Fast.Steps != 0 {
+		t.Fatalf("mid-expansion resume reports fast-path steps: %+v", mcpu.Fast)
+	}
 }

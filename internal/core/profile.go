@@ -32,16 +32,30 @@ type CacheProfile struct {
 	Curve    []cache.SamplePoint `json:"curve,omitempty"`
 }
 
+// FastPathProfile is the fused-loop telemetry section of a RunProfile:
+// how much of the run the fast path supplied and why it exited (or was
+// refused), from the machine's always-on FastStats.
+type FastPathProfile struct {
+	Steps     int64            `json:"steps"`      // instructions the fused loop executed
+	SlowSteps int64            `json:"slow_steps"` // instructions from the instrumented path
+	Coverage  float64          `json:"coverage"`   // Steps over total steps
+	Epochs    int64            `json:"epochs,omitempty"`
+	EpochHist *stats.Histogram `json:"epoch_hist,omitempty"` // epoch lengths (sampled runs)
+	Bails     map[string]int64 `json:"bails,omitempty"`      // exits/refusals by reason
+}
+
 // RunProfile is the per-run execution profile behind ccrun -profile: the
-// machine's counters, the dictionary-entry heat map (hottest first), the
-// expansion-length histogram and, when a cache was simulated, its miss
-// curve. All fields are JSON-serializable.
+// machine's counters, fast-path coverage and bail accounting, the
+// dictionary-entry heat map (hottest first), the expansion-length
+// histogram and, when a cache was simulated, its miss curve. All fields
+// are JSON-serializable.
 type RunProfile struct {
 	Name          string           `json:"name"`
 	Steps         int64            `json:"steps"`
 	Expanded      int64            `json:"expanded"`
 	MemFetches    int64            `json:"mem_fetches"`
 	FetchedBytes  int64            `json:"fetched_bytes"`
+	Fastpath      FastPathProfile  `json:"fastpath"`
 	HotEntries    []EntryHeat      `json:"hot_entries,omitempty"`
 	ExpansionHist *stats.Histogram `json:"expansion_hist,omitempty"`
 	Cache         *CacheProfile    `json:"cache,omitempty"`
@@ -75,6 +89,17 @@ func CollectRunProfile(img *Image, cpu *machine.CPU, snap stats.Snapshot, ic *ca
 		Expanded:     cpu.Stats.Expanded,
 		MemFetches:   cpu.Stats.MemFetches,
 		FetchedBytes: cpu.Stats.FetchedBytes,
+		Fastpath: FastPathProfile{
+			Steps:     cpu.Fast.Steps,
+			SlowSteps: cpu.Stats.Steps - cpu.Fast.Steps,
+			Coverage:  cpu.Fast.Coverage(cpu.Stats.Steps),
+			Epochs:    cpu.Fast.Epochs,
+			Bails:     cpu.Fast.BailMap(),
+		},
+	}
+	if h, ok := snap.Hists["machine.fastpath.epoch_len"]; ok {
+		hc := h
+		p.Fastpath.EpochHist = &hc
 	}
 	if img != nil {
 		p.Name = img.Name

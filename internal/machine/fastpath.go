@@ -1,0 +1,305 @@
+// Fast-path telemetry: bail-reason accounting and epoch sampling for the
+// fused fetch+execute loop. The loop itself (predecode.go) touches none of
+// the observability machinery directly — it calls the beginFast/drainEpoch/
+// endFast helpers here, which run only at epoch boundaries and exits, so
+// per-step cost stays at one integer comparison the loop already paid for
+// the budget check. `make lint-fastpath` enforces that split.
+package machine
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// BailReason classifies how a Run's fast-path attempt ended — or why it
+// never started. Every Run increments exactly one Bails counter per
+// fast-loop exit (plus one per refused or hook-forced entry), so the
+// counters explain any coverage shortfall.
+type BailReason uint8
+
+// Fast-path exit and refusal reasons.
+const (
+	BailExit             BailReason = iota // program performed SysExit inside the loop
+	BailBudget                             // step budget exhausted inside the loop
+	BailFaultSlot                          // PC landed on a slot predecode marked undecodable
+	BailOffTable                           // PC left the table or hit a misaligned interior offset
+	BailSelfModifiedText                   // a store invalidated the table mid-run
+	BailExecFault                          // an instruction faulted architecturally
+	BailHookAttached                       // a hook forced the instrumented Step path for the whole Run
+	BailFrontendRefused                    // frontend had no usable predecode table
+
+	numBailReasons
+)
+
+var bailNames = [numBailReasons]string{
+	"exit",
+	"budget",
+	"fault_slot",
+	"off_table",
+	"self_modified_text",
+	"exec_fault",
+	"hook_attached",
+	"frontend_refused",
+}
+
+func (r BailReason) String() string {
+	if int(r) < len(bailNames) {
+		return bailNames[r]
+	}
+	return "unknown"
+}
+
+// FastStats accumulates the always-on fast-path telemetry across Runs
+// (Reset clears it alongside Stats).
+type FastStats struct {
+	Steps  int64                 // instructions executed by the fused loop
+	Epochs int64                 // telemetry epochs drained (0 unless sampling is enabled)
+	Bails  [numBailReasons]int64 // fast-path exits and refusals by reason
+}
+
+// Coverage is the share of all executed instructions the fused loop
+// supplied: Steps over totalSteps (normally Stats.Steps of the same CPU).
+func (f *FastStats) Coverage(totalSteps int64) float64 {
+	if totalSteps <= 0 {
+		return 0
+	}
+	return float64(f.Steps) / float64(totalSteps)
+}
+
+// BailMap renders the non-zero bail counters keyed by reason name, the
+// JSON-friendly form RunProfile embeds.
+func (f *FastStats) BailMap() map[string]int64 {
+	m := make(map[string]int64)
+	for r, n := range f.Bails {
+		if n != 0 {
+			m[BailReason(r).String()] = n
+		}
+	}
+	return m
+}
+
+// BailSummary renders the non-zero bail counters as "reason=n" pairs in
+// enum order — a deterministic one-line form for logs and CLI summaries.
+func (f *FastStats) BailSummary() string {
+	var b []byte
+	for r, n := range f.Bails {
+		if n == 0 {
+			continue
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, BailReason(r).String()...)
+		b = append(b, '=')
+		var digits [20]byte
+		i := len(digits)
+		for v := n; ; {
+			i--
+			digits[i] = byte('0' + v%10)
+			if v /= 10; v == 0 {
+				break
+			}
+		}
+		b = append(b, digits[i:]...)
+	}
+	if len(b) == 0 {
+		return "none"
+	}
+	return string(b)
+}
+
+// SlotTraffic is one predecode slot's per-epoch execution traffic. Slots
+// are shared across CPUs (the table is cached per image/text), so traffic
+// lives in a per-CPU parallel array, drained and cleared every epoch.
+// Counters are int32 on purpose — an epoch is bounded by the step budget,
+// far below overflow, and the half-sized entries keep the traffic array's
+// cache footprint out of the fused loop's way.
+type SlotTraffic struct {
+	Fetches int32 // table fetches that landed on the slot
+	Steps   int32 // instructions the slot supplied (fetch + expansion continuations)
+}
+
+// EpochObserver consumes drained slot traffic at epoch boundaries. The
+// traffic slice parallels pd.Slots; touched lists the indices with
+// non-zero traffic (each exactly once, unordered), so folding an epoch
+// costs the slots it executed, not the size of the table. Both slices are
+// cleared and reused after the call returns — observers must fold them
+// into their own state, not retain them.
+type EpochObserver interface {
+	ObserveEpoch(pd *Predecode, traffic []SlotTraffic, touched []int32)
+}
+
+// DefaultEpochSteps is the epoch length when CPU.EpochSteps is zero: long
+// enough that draining is noise even on programs that never revisit a
+// slot, short enough that /metrics and spans stay fresh (an epoch is the
+// telemetry staleness bound).
+const DefaultEpochSteps = 1 << 20
+
+// EnableEpochSampling attaches epoch-grained telemetry sinks to the fast
+// loop. Unlike the hooks, sampling does NOT force the instrumented Step
+// path: the fused loop runs unchanged and, every EpochSteps instructions,
+// adds its counters to rec (machine.fastpath.* plus the
+// machine.fastpath.epoch_len histogram) and hands the per-slot traffic to
+// obs. Either sink may be nil.
+//
+// Epochs are step-count intervals of the machine's lifetime, not of one
+// Run: in the steady-state serving shape (Reset + Run per request) traffic
+// keeps accumulating across Runs and drains only when an epoch fills —
+// that cadence, not the request rate, bounds both the telemetry cost and
+// its staleness. Call FlushEpoch before reading final results from the
+// observer.
+func (c *CPU) EnableEpochSampling(rec *stats.Recorder, obs EpochObserver) {
+	c.FlushEpoch()
+	c.sampleRec = rec
+	c.sampleObs = obs
+}
+
+// FlushEpoch drains the partial epoch in flight, if any: the observer sees
+// all traffic up to the last executed instruction and the epoch-length
+// histogram gains the partial interval. A no-op when nothing accumulated.
+func (c *CPU) FlushEpoch() {
+	if c.sinceDrain > 0 {
+		var tr []SlotTraffic
+		if c.trafficPD != nil {
+			tr = c.traffic[:len(c.trafficPD.Slots)]
+		}
+		c.drainEpoch(c.trafficPD, tr, c.sinceDrain, false)
+		c.sinceDrain = 0
+	}
+}
+
+// TraceEpochs emits one child span of parent per telemetry epoch,
+// annotated with its step count and, on the final epoch of a fast-loop
+// segment, the bail reason. Like EnableEpochSampling, it does not force
+// the instrumented path.
+func (c *CPU) TraceEpochs(parent *trace.Span) { c.epochParent = parent }
+
+// samplingOn reports whether any epoch-grained sink is attached; when
+// false the fast loop runs with zero telemetry work beyond Bails/Steps
+// accounting at exits.
+func (c *CPU) samplingOn() bool {
+	return c.sampleRec != nil || c.sampleObs != nil || c.epochParent != nil
+}
+
+// epochLen is the configured epoch length in steps.
+func (c *CPU) epochLen() int64 {
+	if c.EpochSteps > 0 {
+		return c.EpochSteps
+	}
+	return DefaultEpochSteps
+}
+
+// beginFast opens one fast-loop segment's telemetry: the per-slot traffic
+// buffer (allocated once per CPU and reused across segments and Resets)
+// and, unless one is already in flight, the epoch's span. Accumulated
+// traffic is bound to the table it indexes, so a table change (rebuild
+// after self-modified text, a different frontend) flushes the pending
+// epoch against the old table first. Returns the traffic buffer, nil when
+// no observer will consume it.
+func (c *CPU) beginFast(pd *Predecode) []SlotTraffic {
+	var tr []SlotTraffic
+	if c.sampleObs != nil {
+		if c.trafficPD != pd {
+			c.FlushEpoch()
+			c.trafficPD = pd
+			if cap(c.traffic) < len(pd.Slots) {
+				c.traffic = make([]SlotTraffic, len(pd.Slots))
+			}
+		}
+		tr = c.traffic[:len(pd.Slots)]
+	}
+	if c.epochSpan == nil {
+		c.beginEpochSpan()
+	}
+	return tr
+}
+
+// note logs the first touch of a slot, so draining scales with the slots
+// an epoch executed. Out-of-line on purpose: the fused loop calls it only
+// on a slot's 0->1 transition.
+func (c *CPU) note(idx uint32) {
+	c.touched = append(c.touched, int32(idx))
+}
+
+func (c *CPU) beginEpochSpan() {
+	if c.epochParent != nil {
+		c.epochSpan = c.epochParent.Child("machine.epoch")
+	}
+}
+
+// drainEpoch closes one telemetry epoch of steps instructions: observes
+// the epoch length, hands the slot traffic to the observer (clearing it
+// for the next epoch), and finishes the epoch's span. When more is true
+// the fast loop continues and the next epoch's span opens; empty epochs
+// drain nothing.
+func (c *CPU) drainEpoch(pd *Predecode, tr []SlotTraffic, steps int64, more bool) {
+	if steps > 0 {
+		c.Fast.Epochs++
+		c.sampleRec.ObserveValue("machine.fastpath.epoch_len", steps)
+		if c.sampleObs != nil && tr != nil {
+			c.sampleObs.ObserveEpoch(pd, tr, c.touched)
+			for _, i := range c.touched {
+				tr[i] = SlotTraffic{}
+			}
+			c.touched = c.touched[:0]
+		}
+	}
+	if c.epochSpan != nil {
+		c.epochSpan.SetInt("steps", steps)
+		c.epochSpan.End()
+		c.epochSpan = nil
+	}
+	if more {
+		c.beginEpochSpan()
+	}
+}
+
+// endFast closes one fast-loop segment: accumulates the segment's steps
+// into Fast.Steps and records why the loop exited. The epoch in flight is
+// NOT drained — its traffic carries over to the next segment (or Run) so
+// telemetry cost stays on the epoch cadence, not the Run rate; the span
+// annotates each segment's bail as it happens. FlushEpoch forces the
+// final partial epoch out.
+func (c *CPU) endFast(reason BailReason, entrySteps, epochStart int64) {
+	c.Fast.Steps += c.Stats.Steps - entrySteps
+	c.Fast.Bails[reason]++
+	if c.samplingOn() {
+		c.sinceDrain += c.Stats.Steps - epochStart
+		c.epochSpan.Set("bail", reason.String())
+	}
+}
+
+// fastpathRec selects the recorder the machine.fastpath.* Run-delta export
+// flows to: the epoch-sampling recorder when one is attached (the
+// fast-path case), else the Record hook's recorder (so instrumented runs
+// still report their hook_attached bail and zero coverage).
+func (c *CPU) fastpathRec() *stats.Recorder {
+	if c.sampleRec != nil {
+		return c.sampleRec
+	}
+	return c.Record
+}
+
+// bailCounterNames precomputes the exported counter name of every bail
+// reason, so per-Run export does no string building.
+var bailCounterNames = func() (a [numBailReasons]string) {
+	for r := range a {
+		a[r] = "machine.fastpath.bail." + BailReason(r).String()
+	}
+	return
+}()
+
+// exportFastpath adds one Run's fast-path counter deltas to rec. Every
+// bail counter is exported (including zeros) so OpenMetrics scrapes and
+// snapshots always show the full reason vocabulary; slow_steps is the
+// instrumented-path remainder, letting coverage be derived from any single
+// recorder as steps/(steps+slow_steps).
+func (c *CPU) exportFastpath(rec *stats.Recorder, before FastStats, stepsBefore int64) {
+	fast := c.Fast.Steps - before.Steps
+	rec.Add("machine.fastpath.steps", fast)
+	rec.Add("machine.fastpath.slow_steps", c.Stats.Steps-stepsBefore-fast)
+	rec.Add("machine.fastpath.epochs", c.Fast.Epochs-before.Epochs)
+	for r := range c.Fast.Bails {
+		rec.Add(bailCounterNames[r], c.Fast.Bails[r]-before.Bails[r])
+	}
+}

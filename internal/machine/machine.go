@@ -14,6 +14,7 @@ import (
 	"repro/internal/ppc"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Syscall numbers (passed in r0; sc transfers to the host).
@@ -81,6 +82,25 @@ type CPU struct {
 	Heat []int64
 
 	Stats Stats
+
+	// Fast accumulates the fused fast loop's always-on telemetry: steps
+	// it executed and every exit or refusal classified by BailReason.
+	// Fast.Coverage(Stats.Steps) is the fast-path share of execution.
+	Fast FastStats
+
+	// EpochSteps bounds one telemetry epoch when epoch sampling is
+	// enabled (EnableEpochSampling / TraceEpochs); zero selects
+	// DefaultEpochSteps. Without sampling the fast loop runs unchunked.
+	EpochSteps int64
+
+	sampleRec   *stats.Recorder // epoch-sampling sink (EnableEpochSampling)
+	sampleObs   EpochObserver   // per-slot traffic consumer (EnableEpochSampling)
+	epochParent *trace.Span     // per-epoch span parent (TraceEpochs)
+	epochSpan   *trace.Span     // span of the epoch in flight
+	traffic     []SlotTraffic   // per-CPU slot counters, drained each epoch
+	touched     []int32         // slots with traffic this epoch, first-touch order
+	trafficPD   *Predecode      // table the accumulated traffic indexes
+	sinceDrain  int64           // fast steps accumulated since the last drain
 
 	branch takenBranch // control transfer of the instruction being executed
 	exited bool
@@ -180,9 +200,10 @@ func (c *CPU) SnapshotReset() error {
 }
 
 // Reset rewinds the machine to its SnapshotReset state: registers, memory,
-// PC, accumulated output, exit state, and Stats all return to their
+// PC, accumulated output, exit state, Stats, and Fast all return to their
 // post-construction values, reusing every allocation. Hooks (TraceFetch,
-// TraceExec, TraceStep, Record, Heat) are left attached.
+// TraceExec, TraceStep, Record, Heat) and epoch-sampling sinks are left
+// attached.
 func (c *CPU) Reset() error {
 	if c.snap == nil {
 		return fmt.Errorf("machine: Reset without a prior SnapshotReset")
@@ -196,6 +217,11 @@ func (c *CPU) Reset() error {
 	c.CR = c.snap.cr
 	c.out.Reset()
 	c.Stats = Stats{}
+	c.Fast = FastStats{}
+	// The epoch in flight (sinceDrain, traffic, touched, epochSpan) is NOT
+	// reset: epochs are intervals of the machine's lifetime, deliberately
+	// spanning the Reset+Run request cycle so telemetry drains on the epoch
+	// cadence rather than per request.
 	c.branch = takenBranch{}
 	c.exited = false
 	c.status = 0
@@ -224,6 +250,10 @@ func (c *CPU) Exited() (bool, int32) { return c.exited, c.status }
 // the frontend supplies a predecode table, Run drives the fused
 // fetch+execute fast loop; attaching any hook transparently selects the
 // instrumented Step path, so observability features see every event.
+// Epoch sampling (EnableEpochSampling, TraceEpochs) is deliberately NOT a
+// hook: it observes the fast loop from its epoch boundaries, so sampled
+// runs stay fused. Every Run classifies how the fast path ended — or why
+// it never started — in Fast.Bails.
 func (c *CPU) Run(maxSteps int64) (int32, error) {
 	if c.Record != nil {
 		before := c.Stats
@@ -233,13 +263,27 @@ func (c *CPU) Run(maxSteps int64) (int32, error) {
 			c.Record.Add("machine.fetched_bytes", c.Stats.FetchedBytes-before.FetchedBytes)
 		}()
 	}
+	if rec := c.fastpathRec(); rec != nil {
+		fastBefore, stepsBefore := c.Fast, c.Stats.Steps
+		defer func() { c.exportFastpath(rec, fastBefore, stepsBefore) }()
+	}
 	if c.TraceFetch == nil && c.TraceExec == nil && c.TraceStep == nil &&
 		c.Record == nil && c.Heat == nil {
 		if fe, ok := c.fe.(PredecodedFrontend); ok {
 			if pd := fe.Predecode(); pd != nil {
-				return c.runFast(fe, pd, maxSteps)
+				st, done, err := c.runFast(fe, pd, maxSteps)
+				if done {
+					return st, err
+				}
+				// The fast loop bailed with work left (fault slot,
+				// off-table PC, stale table): the instrumented loop
+				// finishes the run, so faults have one implementation.
+				return c.runSlow(maxSteps)
 			}
 		}
+		c.Fast.Bails[BailFrontendRefused]++
+	} else {
+		c.Fast.Bails[BailHookAttached]++
 	}
 	return c.runSlow(maxSteps)
 }

@@ -1,0 +1,127 @@
+package machine
+
+import "testing"
+
+// The store-generation watch is what lets the fused fast loop trust a
+// predecode table: these tests pin its semantics for overlapping and
+// adjacent regions and across Reset, the staleness paths runFast depends
+// on.
+
+func watchMem(t *testing.T) *Memory {
+	t.Helper()
+	m := NewMemory()
+	if err := m.Map("text", 0x1000, make([]byte, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map("text2", 0x2000, make([]byte, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map("data", 0x4000, make([]byte, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWatchStoresOverlappingRegions(t *testing.T) {
+	// A watch range straddling two regions marks both; the unrelated data
+	// region stays unwatched.
+	m := watchMem(t)
+	g0 := m.WatchStores(0x1800, 0x2800)
+	if err := m.Store32(0x1804, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g1 := m.WatchStores(0, 0); g1 != g0+1 {
+		t.Fatalf("store into first watched region: gen %d, want %d", g1, g0+1)
+	}
+	if err := m.Store32(0x2804, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g2 := m.WatchStores(0, 0); g2 != g0+2 {
+		t.Fatalf("store into second watched region: gen %d, want %d", g2, g0+2)
+	}
+	if err := m.Store32(0x4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g3 := m.WatchStores(0, 0); g3 != g0+2 {
+		t.Fatalf("store into unwatched data moved gen to %d", g3)
+	}
+}
+
+func TestWatchStoresAdjacentRegion(t *testing.T) {
+	// The watch interval is half-open: [0x1000, 0x2000) touches text but
+	// not the region that begins exactly at 0x2000.
+	m := watchMem(t)
+	g0 := m.WatchStores(0x1000, 0x2000)
+	if err := m.Store32(0x2000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != g0 {
+		t.Fatalf("store into adjacent region advanced gen %d -> %d", g0, g)
+	}
+	if err := m.Store32(0x1FFC, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != g0+1 {
+		t.Fatalf("store into last watched word: gen %d, want %d", g, g0+1)
+	}
+	// Watching is idempotent: re-watching an already-watched region must
+	// not double-count subsequent stores.
+	m.WatchStores(0x1000, 0x2000)
+	m.WatchStores(0x1800, 0x1801)
+	if err := m.Store32(0x1800, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != g0+2 {
+		t.Fatalf("re-watched store advanced gen to %d, want %d", g, g0+2)
+	}
+}
+
+func TestWatchStoresResetInteraction(t *testing.T) {
+	// Reset restores bytes a predecode table may have been built against
+	// mid-run, so it must advance the generation when (and only when) a
+	// watched store happened since Snapshot.
+	m := watchMem(t)
+	m.Snapshot()
+	g0 := m.WatchStores(0x1000, 0x2000)
+
+	// Clean snapshot, no stores: Reset restores identical bytes, so any
+	// table built before it is still valid and the generation holds.
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != g0 {
+		t.Fatalf("Reset without stores advanced gen %d -> %d", g0, g)
+	}
+
+	// A watched store then Reset: the restored bytes differ from what a
+	// table built after the store saw, so Reset advances once more.
+	if err := m.Store32(0x1000, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	gStore := m.WatchStores(0, 0)
+	if gStore != g0+1 {
+		t.Fatalf("watched store: gen %d, want %d", gStore, g0+1)
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != gStore+1 {
+		t.Fatalf("Reset after store: gen %d, want %d", g, gStore+1)
+	}
+	if v, err := m.Load32(0x1000); err != nil || v != 0 {
+		t.Fatalf("Reset did not restore bytes: %#x, %v", v, err)
+	}
+
+	// An unwatched store does not dirty the generation, so the following
+	// Reset holds it steady again.
+	if err := m.Store32(0x4000, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	gAfter := m.WatchStores(0, 0)
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.WatchStores(0, 0); g != gAfter {
+		t.Fatalf("Reset after unwatched store advanced gen %d -> %d", gAfter, g)
+	}
+}

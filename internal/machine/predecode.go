@@ -110,15 +110,53 @@ func PredecodeText(mem *Memory, lo, hi uint32) *Predecode {
 // fetch of MemBytes, each expansion continuation is one Expanded step with
 // no traffic, and the budget is enforced before every instruction,
 // including mid-expansion.
-func (c *CPU) runFast(fe PredecodedFrontend, pd *Predecode, maxSteps int64) (int32, error) {
+//
+// Telemetry rides the loop for free. Without epoch sampling, stepLimit is
+// just maxSteps and the boundary comparison is the budget check the loop
+// always made. With sampling on, the loop runs in epochs: stepLimit drops
+// to the next epoch boundary, per-slot traffic accumulates in tr (two
+// array increments per fetch, one per continuation), and drainEpoch hands
+// the counters out between epochs. Every exit goes through endFast, which
+// classifies the bail; the partial epoch in flight carries over to the
+// next segment or Run and FlushEpoch forces it out. The loop body itself
+// never touches a sink — lint-fastpath keeps it that way.
+//
+// The (status, done, err) return tells Run whether the segment completed
+// the program (done: exit, fault, or budget) or bailed with work left
+// (fault slot, off-table PC, stale table) for the instrumented loop to
+// finish.
+func (c *CPU) runFast(fe PredecodedFrontend, pd *Predecode, maxSteps int64) (int32, bool, error) {
 	pc := fe.PC()
 	base, shift := pd.Base, pd.Shift
 	limit := uint32(len(pd.Slots)) << shift
 	gen := c.Mem.storeGen
+
+	entrySteps := c.Stats.Steps
+	epochStart := entrySteps
+	stepLimit := maxSteps
+	var tr []SlotTraffic
+	if c.samplingOn() {
+		tr = c.beginFast(pd)
+		// The epoch in flight may already hold steps from earlier segments
+		// or Runs; this segment runs out its remainder.
+		if end := epochStart + c.epochLen() - c.sinceDrain; end < stepLimit {
+			stepLimit = end
+		}
+	}
 	for {
-		if c.Stats.Steps >= maxSteps {
-			fe.SetRawPC(pc)
-			return 0, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
+		if c.Stats.Steps >= stepLimit {
+			if c.Stats.Steps >= maxSteps {
+				c.endFast(BailBudget, entrySteps, epochStart)
+				fe.SetRawPC(pc)
+				return 0, true, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
+			}
+			// Epoch boundary: hand the telemetry out and keep running.
+			c.drainEpoch(pd, tr, c.sinceDrain+c.Stats.Steps-epochStart, true)
+			c.sinceDrain = 0
+			epochStart = c.Stats.Steps
+			if stepLimit = epochStart + c.epochLen(); stepLimit > maxSteps {
+				stepLimit = maxSteps
+			}
 		}
 		off := pc - base
 		idx := off >> shift
@@ -126,36 +164,56 @@ func (c *CPU) runFast(fe PredecodedFrontend, pd *Predecode, maxSteps int64) (int
 			// Off-table or misaligned PC (e.g. sequential flow off the
 			// end), or text modified since the table was built: let the
 			// slow path produce the architectural outcome.
+			reason := BailOffTable
+			if c.Mem.storeGen != gen {
+				reason = BailSelfModifiedText
+			}
+			c.endFast(reason, entrySteps, epochStart)
 			fe.SetRawPC(pc)
-			return c.runSlow(maxSteps)
+			return 0, false, nil
 		}
 		s := &pd.Slots[idx]
 		if s.Fault {
+			c.endFast(BailFaultSlot, entrySteps, epochStart)
 			fe.SetRawPC(pc)
-			return c.runSlow(maxSteps)
+			return 0, false, nil
 		}
 		c.Stats.Steps++
 		c.Stats.MemFetches++
 		c.Stats.FetchedBytes += int64(s.MemBytes)
+		if tr != nil {
+			t := &tr[idx]
+			if t.Steps == 0 {
+				c.note(idx)
+			}
+			t.Fetches++
+			t.Steps++
+		}
 		c.branch = takenBranch{}
 		n := int(s.EntryLen)
 		// The word argument feeds only OpInvalid's error text, and
 		// OpInvalid slots were marked Fault at build time.
 		if err := c.exec(&s.Inst, 0, pc, s.Next, n == 1); err != nil {
-			return 0, err
+			c.endFast(BailExecFault, entrySteps, epochStart)
+			return 0, true, err
 		}
 		if n > 1 && !c.exited && c.branch.Kind == BranchNone {
 			e := &pd.Entries[s.Rank]
 			for k := 1; k < n; k++ {
 				if c.Stats.Steps >= maxSteps {
+					c.endFast(BailBudget, entrySteps, epochStart)
 					fe.SetRawPC(s.Next)
-					return 0, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
+					return 0, true, fmt.Errorf("machine: step budget of %d exhausted", maxSteps)
 				}
 				c.Stats.Steps++
 				c.Stats.Expanded++
+				if tr != nil {
+					tr[idx].Steps++
+				}
 				c.branch = takenBranch{}
 				if err := c.exec(&e.Insts[k], e.Words[k], pc, s.Next, k == n-1); err != nil {
-					return 0, err
+					c.endFast(BailExecFault, entrySteps, epochStart)
+					return 0, true, err
 				}
 				if c.exited || c.branch.Kind != BranchNone {
 					break
@@ -169,8 +227,9 @@ func (c *CPU) runFast(fe PredecodedFrontend, pd *Predecode, maxSteps int64) (int
 			pc = s.Next
 		}
 		if c.exited {
+			c.endFast(BailExit, entrySteps, epochStart)
 			fe.SetRawPC(pc)
-			return c.status, nil
+			return c.status, true, nil
 		}
 	}
 }
