@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff lint-dispatch lint-fastpath check bench bench-json bench-exec bench-diff sizeaudit
+.PHONY: all build vet test race smoke diff lint-dispatch lint-fastpath lint-metrics check bench bench-json bench-exec bench-diff sizeaudit bundle
 
 all: check
 
@@ -59,7 +59,27 @@ lint-fastpath:
 		exit 1; \
 	fi
 
-check: vet build lint-dispatch lint-fastpath diff race smoke
+# Metric-name registry gate: every literal counter/phase/histogram name
+# passed to a stats.Recorder sink (Add/Observe/ObserveValue/Time) must
+# appear in internal/stats/metrics.txt, so bundle schemas, the -json
+# report and /metrics output cannot grow names silently. Dynamically
+# built names (machine.fastpath.bail.* from BailReason strings) are
+# enumerated in the registry and pinned by a test in internal/machine.
+lint-metrics:
+	@used=$$(grep -rhoE '\.(Add|Observe|ObserveValue|Time)\("[a-z0-9_]+\.[a-z0-9_.]+"' \
+		--include='*.go' --exclude='*_test.go' cmd internal \
+		| sed -E 's/.*\("([^"]+)".*/\1/' | sort -u); \
+	missing=$$(for m in $$used; do \
+		grep -qx "$$m" internal/stats/metrics.txt || echo "$$m"; \
+	done); \
+	if [ -n "$$missing" ]; then \
+		echo "$$missing"; \
+		echo 'lint-metrics: metric names used in source but missing from internal/stats/metrics.txt'; \
+		echo 'lint-metrics: add them to the registry (keep it sorted; see DESIGN.md, "Run bundles")'; \
+		exit 1; \
+	fi
+
+check: vet build lint-dispatch lint-fastpath lint-metrics diff race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -98,3 +118,9 @@ bench-diff:
 # audit files under audits/.
 sizeaudit:
 	$(GO) run ./cmd/experiments -run sizeaudit -sizeaudit audits
+
+# Run bundles: one flight-recorder directory per benchmark (nibble
+# options) plus a whole-run experiments/ bundle, under bundles/. Render
+# one with `go run ./cmd/ccreport bundles/<bench>.nibble`.
+bundle:
+	$(GO) run ./cmd/experiments -run table1 -bundle bundles

@@ -10,10 +10,10 @@
 //	ccrun -guestprof -folded out.folded prog.ppz   # flamegraph input
 //	ccrun -sampledprof prog.ppz                    # fast-path sampled profile
 //	ccrun -sizeaudit prog.ppz                      # static byte-provenance audit
+//	ccrun -bundle out.bundle prog.ppz              # everything, as one run bundle
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +26,7 @@ import (
 	"repro/internal/guestprof"
 	"repro/internal/machine"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/ppc"
 	"repro/internal/sizeaudit"
 	"repro/internal/stats"
@@ -42,6 +43,7 @@ func main() {
 	sizeAudit := flag.Bool("sizeaudit", false, "for .ppz inputs: print the image's byte-provenance audit to stderr and add a \"size\" section to -profile output")
 	folded := flag.String("folded", "", "with -guestprof, write folded call stacks (flamegraph input) to this path; \"-\" means stdout")
 	topN := flag.Int("top", 20, "with -guestprof, rows in the per-function table (0 = all)")
+	bundleDir := flag.String("bundle", "", "write a run bundle (stats, execution profile, guest profile, size audit) to this directory; one flag capturing what -profile/-guestprof/-folded/-sizeaudit produce piecemeal")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -59,14 +61,16 @@ func main() {
 	var img *core.Image
 	var sym *guestprof.SymTab
 	var sa *sizeaudit.Audit
-	wantGuest := *guestProf || *folded != ""
+	id := obs.Identity{Bench: benchName(path)}
+	wantBundle := *bundleDir != ""
+	wantGuest := *guestProf || *folded != "" || (wantBundle && !*sampledProf)
 	if *sampledProf {
 		// The sampled profiler is the fast path observed from epoch
 		// boundaries; hooks that force the instrumented Step path defeat
 		// its point, so the combinations are rejected rather than silently
 		// measured slow.
 		switch {
-		case wantGuest:
+		case *guestProf || *folded != "":
 			fatal(fmt.Errorf("-sampledprof and -guestprof are mutually exclusive (exact profiling runs the instrumented path)"))
 		case *cacheSize > 0:
 			fatal(fmt.Errorf("-sampledprof cannot run with -cache (cache simulation needs the per-fetch hook)"))
@@ -83,15 +87,26 @@ func main() {
 			fatal(err)
 		}
 		img, _ = oi.(*core.Image)
-		if *sizeAudit {
+		id.Method = uint8(oi.Method())
+		if c, err := codec.ByMethod(oi.Method()); err == nil {
+			id.Codec = c.Name()
+		}
+		if img != nil && img.Name != "" {
+			id.Bench = img.Name
+		}
+		if *sizeAudit || wantBundle {
 			// The audit reconstructs from the image's serialized sideband
 			// (the dictionary images' marks), so no recompression is needed.
+			// A bundle simply omits the section when the image carries no
+			// marks; the explicit flag keeps its hard error.
 			aud, ok := oi.(codec.Auditable)
-			if !ok {
+			if !ok && *sizeAudit {
 				fatal(fmt.Errorf("-sizeaudit: %T images carry no marks audit; use ccomp -audit on the source .ppx", oi))
 			}
-			if sa, err = aud.SizeAudit(); err != nil {
-				fatal(err)
+			if ok {
+				if sa, err = aud.SizeAudit(); err != nil {
+					fatal(err)
+				}
 			}
 		}
 		ex, ok := oi.(codec.Executable)
@@ -106,9 +121,14 @@ func main() {
 			// Compressed runs symbolize through the image's address map, so
 			// cycles land on the original program's function names.
 			if img == nil {
-				fatal(fmt.Errorf("guest profiling needs a dictionary image; %T carries no address map", oi))
-			}
-			if sym, err = img.GuestSymTab(); err != nil {
+				if wantBundle && !*guestProf && *folded == "" {
+					// Bundles degrade gracefully: no address map, no guest
+					// section.
+					wantSym, wantGuest = false, false
+				} else {
+					fatal(fmt.Errorf("guest profiling needs a dictionary image; %T carries no address map", oi))
+				}
+			} else if sym, err = img.GuestSymTab(); err != nil {
 				fatal(err)
 			}
 		}
@@ -120,6 +140,10 @@ func main() {
 		if *sizeAudit {
 			fatal(fmt.Errorf("-sizeaudit needs a compressed .ppz image; %s is uncompressed", path))
 		}
+		id.Codec = "native"
+		if p.Name != "" {
+			id.Bench = p.Name
+		}
 		cpu, err = machine.NewForProgram(p)
 		if err != nil {
 			fatal(err)
@@ -129,16 +153,28 @@ func main() {
 		}
 	}
 
+	var col *obs.Collector
+	if wantBundle {
+		col = obs.NewCollector(id)
+	}
+
 	var rec *stats.Recorder
 	var sp *guestprof.SampledProfiler
+	wantProfile := *profile != "" || wantBundle
 	if *sampledProf {
 		// One recorder serves both sampling and -profile; unlike cpu.Record
 		// it is not a hook, so the run stays on the fused fast path.
-		rec = stats.New()
+		rec = col.Recorder()
+		if rec == nil {
+			rec = stats.New()
+		}
 		sp = guestprof.NewSampled(sym)
 		cpu.EnableEpochSampling(rec, sp)
-	} else if *profile != "" {
-		rec = stats.New()
+	} else if wantProfile {
+		rec = col.Recorder()
+		if rec == nil {
+			rec = stats.New()
+		}
 		cpu.Record = rec
 		if img != nil {
 			cpu.EnableHeat(len(img.Entries))
@@ -153,7 +189,7 @@ func main() {
 			fatal(err)
 		}
 		cpu.TraceFetch = ic.Access
-		if *profile != "" {
+		if wantProfile {
 			smp, err = cache.NewSampler(ic, *sample)
 			if err != nil {
 				fatal(err)
@@ -202,7 +238,7 @@ func main() {
 			ic.Stats.Accesses, ic.Stats.Misses, 100*ic.Stats.MissRate())
 	}
 
-	if sa != nil {
+	if sa != nil && *sizeAudit {
 		fmt.Fprintln(os.Stderr)
 		if err := sa.WriteTable(os.Stderr); err != nil {
 			fatal(err)
@@ -210,8 +246,14 @@ func main() {
 	}
 
 	var guest *guestprof.Profile
+	var foldedText string
 	if gp != nil {
-		guest = gp.Profile(path)
+		guest = gp.Profile(id.Bench)
+		var sb strings.Builder
+		if err := gp.WriteFolded(&sb); err != nil {
+			fatal(err)
+		}
+		foldedText = sb.String()
 		if *guestProf {
 			fmt.Fprintln(os.Stderr)
 			if err := guest.WriteTop(os.Stderr, *topN); err != nil {
@@ -219,13 +261,13 @@ func main() {
 			}
 		}
 		if *folded != "" {
-			if err := writeFolded(*folded, gp); err != nil {
+			if err := obs.WriteTextFile(*folded, func(w io.Writer) error { return gp.WriteFolded(w) }); err != nil {
 				fatal(err)
 			}
 		}
 	}
 	if sp != nil {
-		guest = sp.Profile(path)
+		guest = sp.Profile(id.Bench)
 		fmt.Fprintln(os.Stderr)
 		if err := guest.WriteTop(os.Stderr, *topN); err != nil {
 			fatal(err)
@@ -236,51 +278,44 @@ func main() {
 		cpu.Heat = sp.Heat()
 	}
 
-	if *profile != "" {
+	if wantProfile {
 		var curve []cache.SamplePoint
 		if smp != nil {
 			curve = smp.Points
 		}
 		prof := core.CollectRunProfile(img, cpu, rec.Snapshot(), ic, curve)
 		if prof.Name == "" {
-			prof.Name = path
+			prof.Name = id.Bench
 		}
 		prof.Guest = guest
 		prof.Size = sa
-		if err := writeProfile(*profile, prof); err != nil {
-			fatal(err)
+		if *profile != "" {
+			if err := obs.WriteJSONFile(*profile, prof); err != nil {
+				fatal(err)
+			}
 		}
+		col.SetProfile(prof)
+		col.SetGuest(guest, foldedText)
+		col.SetAudit(sa)
+	}
+	if err := col.Write(*bundleDir); err != nil {
+		fatal(err)
+	}
+	if wantBundle {
+		fmt.Fprintf(os.Stderr, "bundle: %s\n", *bundleDir)
 	}
 }
 
-// writeFolded emits folded call stacks; "-" selects stdout.
-func writeFolded(path string, gp *guestprof.Profiler) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+// benchName strips the directory and the .ppx/.ppz extension: the default
+// run identity when the object file carries no name of its own.
+func benchName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
 	}
-	return gp.WriteFolded(w)
-}
-
-// writeProfile emits the profile as indented JSON; "-" selects stdout.
-func writeProfile(path string, prof core.RunProfile) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(prof)
+	base = strings.TrimSuffix(base, ".ppx")
+	base = strings.TrimSuffix(base, ".ppz")
+	return base
 }
 
 func fatal(err error) {

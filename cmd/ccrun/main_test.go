@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// buildCCRun compiles the ccrun binary once per test run.
+func buildCCRun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ccrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ccrun: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeImage compresses a synth benchmark under the nibble scheme and
+// serializes it as a .ppz fixture.
+func writeImage(t *testing.T, dir, bench string) string {
+	t.Helper()
+	p, err := synth.Generate(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.Compress(p, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, bench+".ppz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := objfile.WriteImage(f, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBundleMatchesLegacyFlags is the acceptance check for the -bundle
+// flag: a bundle's stats, profile, guest, and audit sections must be equal
+// to what the legacy per-flag outputs (-profile, -folded, -sizeaudit)
+// produce for the same run.
+func TestBundleMatchesLegacyFlags(t *testing.T) {
+	bin := buildCCRun(t)
+	dir := t.TempDir()
+	ppz := writeImage(t, dir, "compress")
+
+	legacyProf := filepath.Join(dir, "legacy.json")
+	legacyFolded := filepath.Join(dir, "legacy.folded")
+	legacy := exec.Command(bin, "-profile", legacyProf, "-guestprof", "-folded", legacyFolded, "-sizeaudit", ppz)
+	if out, err := legacy.CombinedOutput(); err != nil {
+		t.Fatalf("legacy run: %v\n%s", err, out)
+	}
+
+	bundleDir := filepath.Join(dir, "bundle")
+	bundled := exec.Command(bin, "-bundle", bundleDir, ppz)
+	if out, err := bundled.CombinedOutput(); err != nil {
+		t.Fatalf("bundle run: %v\n%s", err, out)
+	}
+
+	b, err := obs.Open(bundleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Identity.Bench != "compress" || b.Identity.Codec != "nibble" || b.Identity.Method != 2 {
+		t.Errorf("bundle identity = %+v", b.Identity)
+	}
+
+	// The legacy -profile file embeds the guest profile and size audit as
+	// sections of the run profile; the bundle stores them as sections of
+	// their own. Equality is per component.
+	data, err := os.ReadFile(legacyProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want core.RunProfile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("legacy profile JSON: %v", err)
+	}
+	if !reflect.DeepEqual(b.Guest, want.Guest) {
+		t.Errorf("bundle guest profile differs from legacy -profile guest section:\n got %+v\nwant %+v", b.Guest, want.Guest)
+	}
+	if !reflect.DeepEqual(b.Audit, want.Size) {
+		t.Errorf("bundle audit differs from legacy -profile size section")
+	}
+	want.Guest, want.Size = nil, nil
+	if b.Profile == nil {
+		t.Fatal("bundle has no profile section")
+	}
+	if !reflect.DeepEqual(*b.Profile, want) {
+		t.Errorf("bundle profile differs from legacy -profile output:\n got %+v\nwant %+v", *b.Profile, want)
+	}
+
+	folded, err := os.ReadFile(legacyFolded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GuestFolded != string(folded) {
+		t.Errorf("bundle folded stacks differ from legacy -folded output:\n got %q\nwant %q", b.GuestFolded, folded)
+	}
+
+	// The stats snapshot is what CollectRunProfile consumed; the same run
+	// must yield the same counters either way.
+	if b.Stats == nil {
+		t.Fatal("bundle has no stats section")
+	}
+	if got := b.Stats.Counters["machine.steps"]; got != want.Steps {
+		t.Errorf("bundle stats machine.steps = %d, profile says %d", got, want.Steps)
+	}
+}
+
+// TestBundleNativeProgram pins the .ppx path: bundles work for native runs
+// too, with codec "native" and no audit section.
+func TestBundleNativeProgram(t *testing.T) {
+	bin := buildCCRun(t)
+	dir := t.TempDir()
+	p, err := synth.Generate("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppx := filepath.Join(dir, "compress.ppx")
+	f, err := os.Create(ppx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := objfile.WriteProgram(f, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bundleDir := filepath.Join(dir, "bundle")
+	cmd := exec.Command(bin, "-bundle", bundleDir, ppx)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("ccrun -bundle on .ppx: %v\n%s", err, out)
+	}
+	b, err := obs.Open(bundleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Identity.Codec != "native" || b.Identity.Bench != "compress" {
+		t.Errorf("native bundle identity = %+v", b.Identity)
+	}
+	if b.Profile == nil || b.Guest == nil || b.GuestFolded == "" {
+		t.Error("native bundle missing profile/guest sections")
+	}
+	if b.Audit != nil {
+		t.Error("native bundle should carry no size audit")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/codeword"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -70,6 +72,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the live stats snapshot (expvar \"stats\") on this address, e.g. :6060")
 	guestDir := flag.String("guestprof", "", "write paired native/compressed guest profiles (JSON + folded flamegraph stacks) for every benchmark into this directory")
 	auditDir := flag.String("sizeaudit", "", "write per-encoding byte-provenance audits (JSON + CSV + folded) for every benchmark into this directory")
+	bundleDir := flag.String("bundle", "", "write run bundles into this directory: one per benchmark under the paper's nibble options (<bench>.nibble/) plus experiments/ holding the whole run's stats and trace; one flag capturing what -trace/-guestprof/-sizeaudit produce piecemeal")
 	flag.Parse()
 
 	if *list {
@@ -114,19 +117,42 @@ func main() {
 			}
 		}()
 	}
-	var tracer *trace.Tracer
-	if *traceOut != "" {
+	// With -bundle, the collector owns the run's tracer, so -trace becomes
+	// a shim exporting the same spans the bundle captures.
+	var col *obs.Collector
+	if *bundleDir != "" {
+		col = obs.NewCollector(obs.Identity{
+			Bench:     "experiments",
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+		})
+	}
+	tracer := col.Tracer()
+	if tracer == nil && *traceOut != "" {
 		tracer = trace.New()
 	}
 	corpus := bench.NewCorpus()
 	engine := bench.NewEngine(corpus, bench.EngineOptions{
-		Parallel: *parallel,
-		Recorder: totals,
-		Tracer:   tracer,
+		Parallel:  *parallel,
+		Recorder:  totals,
+		Tracer:    tracer,
+		Collector: col,
 	})
 	t0 := time.Now()
 	results, runErr := engine.RunIDs(ctx, ids)
 	wall := time.Since(t0)
+	if *bundleDir != "" && runErr == nil {
+		if err := col.Write(filepath.Join(*bundleDir, "experiments")); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: run bundle: %v\n", err)
+			os.Exit(1)
+		}
+		opt := core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4}
+		ts := time.Now().UTC().Format(time.RFC3339)
+		if err := bench.WriteBundles(corpus, *bundleDir, opt, []string{"nibble"}, ts); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bundles: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote run bundles to %s\n", *bundleDir)
+	}
 	if *guestDir != "" && runErr == nil {
 		// The corpus is already warm from the run, so profiling only pays
 		// for the executions themselves.
@@ -144,9 +170,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote size audits to %s\n", *auditDir)
 	}
-	if tracer != nil {
-		if err := writeTrace(*traceOut, tracer); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	if *traceOut != "" {
+		if err := obs.WriteTextFile(*traceOut, tracer.WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing trace %s: %v\n", *traceOut, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote %d spans to %s\n", tracer.Len(), *traceOut)
@@ -165,19 +191,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
 		os.Exit(1)
 	}
-}
-
-// writeTrace exports the collected spans as a Chrome trace-event file.
-func writeTrace(path string, tr *trace.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChrome(f); err != nil {
-		f.Close()
-		return fmt.Errorf("writing trace %s: %w", path, err)
-	}
-	return f.Close()
 }
 
 func emitText(results []bench.Result, csv, showStats bool) {

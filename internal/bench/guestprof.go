@@ -1,8 +1,8 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/codeword"
 	"repro/internal/core"
 	"repro/internal/guestprof"
+	"repro/internal/obs"
 )
 
 func init() {
@@ -146,14 +147,13 @@ func WriteGuestProfiles(c *Corpus, dir string, opt core.Options) error {
 			run GuestRun
 		}{{"native", pair.Native}, {"ppz", pair.Compressed}} {
 			base := filepath.Join(dir, pair.Bench+"."+side.tag)
-			data, err := json.MarshalIndent(side.run.Profile, "", "  ")
-			if err != nil {
+			if err := obs.WriteJSONFile(base+".json", side.run.Profile); err != nil {
 				return err
 			}
-			if err := os.WriteFile(base+".json", append(data, '\n'), 0o644); err != nil {
+			if err := obs.WriteTextFile(base+".folded", func(w io.Writer) error {
+				_, err := io.WriteString(w, side.run.Folded)
 				return err
-			}
-			if err := os.WriteFile(base+".folded", []byte(side.run.Folded), 0o644); err != nil {
+			}); err != nil {
 				return err
 			}
 		}

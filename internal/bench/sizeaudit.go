@@ -1,13 +1,13 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sizeaudit"
 )
 
@@ -110,33 +110,13 @@ func WriteSizeAudits(c *Corpus, dir string) error {
 			return err
 		}
 		base := filepath.Join(dir, name+"."+enc)
-		data, err := json.MarshalIndent(a, "", "  ")
-		if err != nil {
+		if err := obs.WriteJSONFile(base+".json", a); err != nil {
 			return err
 		}
-		if err := os.WriteFile(base+".json", append(data, '\n'), 0o644); err != nil {
+		if err := obs.WriteTextFile(base+".csv", a.WriteCSV); err != nil {
 			return err
 		}
-		csvf, err := os.Create(base + ".csv")
-		if err != nil {
-			return err
-		}
-		if err := a.WriteCSV(csvf); err != nil {
-			csvf.Close()
-			return err
-		}
-		if err := csvf.Close(); err != nil {
-			return err
-		}
-		foldf, err := os.Create(base + ".folded")
-		if err != nil {
-			return err
-		}
-		if err := a.WriteFolded(foldf); err != nil {
-			foldf.Close()
-			return err
-		}
-		if err := foldf.Close(); err != nil {
+		if err := obs.WriteTextFile(base+".folded", a.WriteFolded); err != nil {
 			return err
 		}
 		if enc != encs[0] {
@@ -148,10 +128,6 @@ func WriteSizeAudits(c *Corpus, dir string) error {
 		if err != nil {
 			return err
 		}
-		nat, err := json.MarshalIndent(sizeaudit.AuditProgram(p), "", "  ")
-		if err != nil {
-			return err
-		}
-		return os.WriteFile(filepath.Join(dir, name+".native.json"), append(nat, '\n'), 0o644)
+		return obs.WriteJSONFile(filepath.Join(dir, name+".native.json"), sizeaudit.AuditProgram(p))
 	})
 }

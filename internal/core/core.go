@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync/atomic"
 
@@ -89,6 +90,21 @@ func (o Options) Normalized() Options {
 		o.MaxEntries = o.Scheme.MaxEntries()
 	}
 	return o
+}
+
+// Fingerprint is a stable hex hash of the normalized image-shaping
+// options (scheme, dictionary bounds, strategy, and any dynamic profile).
+// Two Options that fingerprint equal produce identical images, so run
+// bundles and cache layers can use it as the configuration identity
+// without serializing the options themselves.
+func (o Options) Fingerprint() string {
+	n := o.Normalized()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d/%d", n.Scheme, n.MaxEntries, n.MaxEntryLen, n.Strategy)
+	for _, v := range n.DynProfile {
+		fmt.Fprintf(h, "/%d", v)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Mark records where an original instruction landed in the stream; it is

@@ -1,0 +1,78 @@
+package guestprof_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codeword"
+	"repro/internal/core"
+	"repro/internal/guestprof"
+	"repro/internal/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite the folded-stack golden")
+
+// compressedFolded runs one benchmark under the nibble scheme from scratch
+// (fresh program, image, machine, profiler) and returns its folded stacks.
+func compressedFolded(t *testing.T, name string) string {
+	t.Helper()
+	p, err := synth.Generate(name)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	img, err := core.Compress(p, core.Options{Scheme: codeword.Nibble, MaxEntryLen: 4})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	sym, err := img.GuestSymTab()
+	if err != nil {
+		t.Fatalf("GuestSymTab: %v", err)
+	}
+	cpu, err := core.NewMachine(img)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	prof := guestprof.New(sym)
+	prof.Attach(cpu)
+	if _, err := cpu.Run(200_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sb strings.Builder
+	if err := prof.WriteFolded(&sb); err != nil {
+		t.Fatalf("WriteFolded: %v", err)
+	}
+	return sb.String()
+}
+
+// TestFoldedDeterministic pins the property run-bundle checksums rest on:
+// identical executions produce byte-identical folded stacks. Two fully
+// independent runs must agree with each other, and with a checked-in
+// golden so drift across code changes is a visible diff, not a silently
+// changed checksum.
+func TestFoldedDeterministic(t *testing.T) {
+	got := compressedFolded(t, "compress")
+	if again := compressedFolded(t, "compress"); again != got {
+		t.Errorf("two identical runs disagree:\n%s\nvs:\n%s", got, again)
+	}
+
+	path := filepath.Join("testdata", "compress.nibble.folded")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/guestprof -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("folded stacks drifted from golden (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// readRegistry returns the metric names in metrics.txt, in file order.
+func readRegistry(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open("metrics.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		names = append(names, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestMetricsRegistryWellFormed pins the registry's shape: dotted
+// lower-case names, sorted, no duplicates. The make lint-metrics gate
+// greps source names against this file; a malformed registry would make
+// that gate silently vacuous.
+func TestMetricsRegistryWellFormed(t *testing.T) {
+	names := readRegistry(t)
+	if len(names) == 0 {
+		t.Fatal("metrics.txt lists no metric names")
+	}
+	nameRE := regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if !nameRE.MatchString(n) {
+			t.Errorf("metrics.txt: %q is not a dotted lower-case metric name", n)
+		}
+		if seen[n] {
+			t.Errorf("metrics.txt: %q listed twice", n)
+		}
+		seen[n] = true
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Error("metrics.txt: names are not sorted")
+	}
+}
