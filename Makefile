@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke diff lint-dispatch lint-fastpath lint-metrics check bench bench-json bench-exec bench-diff sizeaudit bundle
+.PHONY: all build vet test race smoke diff lint-dispatch lint-fastpath lint-metrics check bench bench-json bench-exec bench-diff bench-append bench-trend sizeaudit bundle
 
 all: check
 
@@ -87,9 +87,12 @@ bench:
 # Perf trajectory: dictionary.Build and core.Compress at small/medium/full
 # corpus sizes plus the execution benchmarks, recorded as
 # BENCH_dictionary.json (ns/op, B/op, allocs/op, and histogram quantiles
-# such as selbits-p50/p90/p99 and explen-p50/p90/p99).
+# such as selbits-p50/p90/p99 and explen-p50/p90/p99). BENCH_SAMPLES runs
+# each benchmark that many times so the report carries raw samples — the
+# fuel for 95% confidence intervals and the -significant gate.
+BENCH_SAMPLES ?= 5
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^BenchmarkDictionaryBuild$$|^BenchmarkCompressSweep$$|^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -count=$(BENCH_SAMPLES) -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_dictionary.json
 	@echo wrote BENCH_dictionary.json
 
@@ -98,21 +101,46 @@ bench-json:
 # compressed_vs_native_ratio metric — the quick loop while working on the
 # execution engine, without the multi-minute dictionary sweeps.
 bench-exec:
-	$(GO) test -run '^$$' -bench '^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^BenchmarkNativeExecution$$|^BenchmarkCompressedExecution$$|^BenchmarkSampledExecution$$' -count=$(BENCH_SAMPLES) -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_exec.json
 	@echo wrote BENCH_exec.json
 
-# Compare a fresh bench-json run against the committed trajectory.
-# Usage: make bench-diff NEW=BENCH_new.json [THRESHOLD=30] [RATIO_MAX=1.15]
-#        [SAMPLED_MAX=1.10]
+# Compare a fresh bench-json run against the committed baseline. The gate
+# is noise-aware: a regression only fails when it is also statistically
+# significant (Mann-Whitney over the raw samples), and -max ceilings are
+# checked against the 95% CI upper bound.
+# Usage: make bench-diff NEW=BENCH_dictionary.json [THRESHOLD=30]
+#        [RATIO_MAX=1.15] [SAMPLED_MAX=1.10] [BASELINE=...]
 THRESHOLD ?= 30
 RATIO_MAX ?= 1.15
 SAMPLED_MAX ?= 1.10
+BASELINE ?= baselines/BENCH_dictionary.json
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) \
+	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) -significant \
 		-max compressed_vs_native_ratio=$(RATIO_MAX) \
 		-max sampled_profiling_overhead_ratio=$(SAMPLED_MAX) \
-		BENCH_dictionary.json $(NEW)
+		$(BASELINE) $(NEW)
+
+# Perf-history ledger: append the current BENCH_dictionary.json to the
+# JSONL ledger, stamped with the working tree's HEAD commit. The ledger
+# starts from the committed seed so local trends include the repo's
+# recorded history.
+LEDGER ?= perf-ledger.jsonl
+bench-append:
+	@test -f $(LEDGER) || cp baselines/perf-ledger.jsonl $(LEDGER)
+	$(GO) run ./cmd/cctrend -append BENCH_dictionary.json \
+		-commit $$(git rev-parse HEAD) \
+		-time $$(date -u +%Y-%m-%dT%H:%M:%SZ) \
+		$(LEDGER)
+	@echo appended to $(LEDGER)
+
+# Render the ledger as a standalone HTML timeline (sparklines with CI
+# bands, changepoint marks, worst-regressions table) plus aligned text.
+bench-trend:
+	@test -f $(LEDGER) || cp baselines/perf-ledger.jsonl $(LEDGER)
+	$(GO) run ./cmd/cctrend -o trend.html $(LEDGER)
+	$(GO) run ./cmd/cctrend -text $(LEDGER)
+	@echo wrote trend.html
 
 # Byte-provenance table (stdout) plus per-benchmark JSON/CSV/folded
 # audit files under audits/.

@@ -7,12 +7,24 @@
 //
 //	benchdiff old.json new.json              # report only
 //	benchdiff -threshold 20 old.json new.json # fail on >20% regressions
+//	benchdiff -threshold 20 -significant old.json new.json
 //	benchdiff -max compressed_vs_native_ratio=1.15 old.json new.json
+//
+// -significant makes the threshold gate noise-aware: a regression only
+// fails the build when it is also statistically significant under a
+// two-sided Mann-Whitney U test (p <= -alpha, default 0.05) over the raw
+// samples both reports carry (`go test -count=N` via benchjson). A mean
+// that moved past the threshold but whose sample distributions the test
+// cannot tell apart is scheduler noise and passes; a delta without
+// enough samples on both sides still fails — absence of evidence does
+// not wave a regression through.
 //
 // -max (repeatable) adds an absolute ceiling on a named metric in the NEW
 // report, independent of the baseline: the execution-speed ratio must stay
-// under its target even if the committed baseline drifted. A -max naming a
-// metric absent from the new report fails, so the gate cannot silently rot.
+// under its target even if the committed baseline drifted. With
+// multi-sample reports the ceiling is checked against the metric's 95% CI
+// upper bound, not a lucky single sample. A -max naming a metric absent
+// from the new report fails, so the gate cannot silently rot.
 //
 // Appeared/disappeared benchmarks are reported but never fail the gate:
 // renames and new coverage are routine; silently comparing nothing is the
@@ -23,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -56,10 +69,12 @@ func (c *ceilingFlags) Set(s string) error {
 
 func main() {
 	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent; 0 disables the gate")
+	significant := flag.Bool("significant", false, "with -threshold, only fail on regressions that are also statistically significant (Mann-Whitney p <= alpha over the reports' samples)")
+	alpha := flag.Float64("alpha", benchfmt.DefaultAlpha, "significance level for -significant")
 	var ceilings ceilingFlags
-	flag.Var(&ceilings, "max", "metric=value absolute ceiling on the new report (repeatable); fail when the metric exceeds it or is absent")
+	flag.Var(&ceilings, "max", "metric=value absolute ceiling on the new report (repeatable), checked against the 95% CI upper bound when samples are present; fail when exceeded or the metric is absent")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] [-max metric=value]... old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] [-significant] [-alpha p] [-max metric=value]... old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,13 +82,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, ceilings); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *significant, *alpha, ceilings); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, threshold float64, ceilings []benchfmt.Ceiling) error {
+func run(oldPath, newPath string, threshold float64, significant bool, alpha float64, ceilings []benchfmt.Ceiling) error {
 	oldRep, err := benchfmt.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -88,10 +103,11 @@ func run(oldPath, newPath string, threshold float64, ceilings []benchfmt.Ceiling
 	}
 
 	fmt.Printf("benchdiff: %s -> %s\n", oldPath, newPath)
-	rows := [][]string{{"benchmark", "metric", "old", "new", "delta"}}
+	rows := [][]string{{"benchmark", "metric", "old", "new", "delta", "p"}}
 	for _, d := range cmp.Deltas {
 		rows = append(rows, []string{
-			d.Bench, d.Metric, num(d.Old), num(d.New), fmt.Sprintf("%+.1f%%", d.Pct()),
+			d.Bench, d.Metric, distCell(d.Old, d.OldDist), distCell(d.New, d.NewDist),
+			fmt.Sprintf("%+.1f%%", d.Pct()), pCell(d.P),
 		})
 	}
 	printAligned(rows)
@@ -104,31 +120,64 @@ func run(oldPath, newPath string, threshold float64, ceilings []benchfmt.Ceiling
 
 	if threshold > 0 {
 		regs := cmp.Regressions(threshold)
-		if len(regs) > 0 {
-			fmt.Printf("\n%d metric(s) regressed beyond %.1f%%:\n", len(regs), threshold)
-			for _, d := range regs {
-				fmt.Printf("  %s %s: %s -> %s (%+.1f%%)\n",
-					d.Bench, d.Metric, num(d.Old), num(d.New), d.Pct())
-			}
-			return fmt.Errorf("regression threshold exceeded")
+		if significant {
+			regs = cmp.SignificantRegressions(threshold, alpha)
 		}
-		fmt.Printf("\nno metric regressed beyond %.1f%%\n", threshold)
+		if len(regs) > 0 {
+			kind := ""
+			if significant {
+				kind = fmt.Sprintf(" significantly (p <= %g, or too few samples to test)", alpha)
+			}
+			fmt.Printf("\n%d metric(s) regressed beyond %.1f%%%s:\n", len(regs), threshold, kind)
+			for _, d := range regs {
+				fmt.Printf("  %s %s: %s -> %s (%+.1f%%, p %s)\n",
+					d.Bench, d.Metric, num(d.Old), num(d.New), d.Pct(), pCell(d.P))
+			}
+			return fmt.Errorf("regression threshold exceeded (%s -> %s)", oldPath, newPath)
+		}
+		if significant {
+			fmt.Printf("\nno metric regressed beyond %.1f%% with significance p <= %g\n", threshold, alpha)
+		} else {
+			fmt.Printf("\nno metric regressed beyond %.1f%%\n", threshold)
+		}
 	}
 	if len(ceilings) > 0 {
 		over, err := newRep.Exceeded(ceilings)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", newPath, err)
 		}
 		if len(over) > 0 {
 			fmt.Printf("\n%d metric(s) exceeded an absolute ceiling:\n", len(over))
 			for _, d := range over {
-				fmt.Printf("  %s %s: %s > limit %s\n", d.Bench, d.Metric, num(d.New), num(d.Old))
+				bound := ""
+				if d.NewDist.N > 1 {
+					bound = fmt.Sprintf(" (CI upper bound of %d samples, mean %s)", d.NewDist.N, num(d.NewDist.Mean))
+				}
+				fmt.Printf("  %s %s: %s > limit %s%s\n", d.Bench, d.Metric, num(d.New), num(d.Old), bound)
 			}
-			return fmt.Errorf("absolute ceiling exceeded")
+			return fmt.Errorf("absolute ceiling exceeded (%s)", newPath)
 		}
 		fmt.Printf("all %d absolute ceiling(s) hold\n", len(ceilings))
 	}
 	return nil
+}
+
+// distCell renders a metric's value for the delta table: the bare mean
+// for single-sample sides, "mean ±halfwidth (n)" once a 95% CI exists.
+func distCell(mean float64, d benchfmt.Dist) string {
+	if d.N <= 1 {
+		return num(mean)
+	}
+	return fmt.Sprintf("%s ±%s (n=%d)", num(d.Mean), num(d.CIHigh-d.Mean), d.N)
+}
+
+// pCell renders a Mann-Whitney p-value; "-" when there were not enough
+// samples to test.
+func pCell(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", p)
 }
 
 // num renders a metric value compactly: integers without a fraction,

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func writeReport(t *testing.T, dir, name string, ns []float64, metrics map[string][]float64) string {
+	t.Helper()
+	b := benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: benchfmt.NewDist(ns).Mean,
+		Samples: map[string][]float64{}}
+	if len(ns) > 1 {
+		b.Samples[benchfmt.MetricNs] = ns
+	}
+	for m, s := range metrics {
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[m] = benchfmt.NewDist(s).Mean
+		if len(s) > 1 {
+			b.Samples[m] = s
+		}
+	}
+	if len(b.Samples) == 0 {
+		b.Samples = nil
+	}
+	rep := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{b}}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSignificantGateNoiseRobustness is the acceptance check for the
+// noise-aware gate: run-to-run noise whose confidence intervals overlap
+// passes `-significant` at a threshold the raw means exceed, while a
+// genuine shift with separated distributions still fails.
+func TestSignificantGateNoiseRobustness(t *testing.T) {
+	dir := t.TempDir()
+
+	// Noise: the means differ ~11% but the sample clouds interleave.
+	old := writeReport(t, dir, "old.json", []float64{100, 140, 105, 150, 117}, nil)
+	noisy := writeReport(t, dir, "noisy.json", []float64{110, 160, 120, 140, 152}, nil)
+	// Plain threshold gate fails on the mean movement...
+	if err := run(old, noisy, 10, false, benchfmt.DefaultAlpha, nil); err == nil {
+		t.Fatal("test setup: plain gate should fail on an 11% mean move")
+	}
+	// ...but the significance-aware gate sees overlapping CIs and passes.
+	if err := run(old, noisy, 10, true, benchfmt.DefaultAlpha, nil); err != nil {
+		t.Errorf("-significant failed on CI-overlapping noise: %v", err)
+	}
+
+	// Genuine regression: ≥10% shift, non-overlapping sample clouds.
+	base := writeReport(t, dir, "base.json", []float64{100, 101, 102, 103, 104}, nil)
+	slow := writeReport(t, dir, "slow.json", []float64{115, 116, 117, 118, 119}, nil)
+	err := run(base, slow, 10, true, benchfmt.DefaultAlpha, nil)
+	if err == nil {
+		t.Fatal("-significant passed a genuine 15% shift")
+	}
+	if !strings.Contains(err.Error(), base) || !strings.Contains(err.Error(), slow) {
+		t.Errorf("gate error %q does not name both files", err)
+	}
+}
+
+// TestSignificantGateFailsWithoutSamples: single-sample reports cannot be
+// significance-tested, and an untestable regression must still fail.
+func TestSignificantGateFailsWithoutSamples(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []float64{100}, nil)
+	slow := writeReport(t, dir, "slow.json", []float64{150}, nil)
+	if err := run(old, slow, 10, true, benchfmt.DefaultAlpha, nil); err == nil {
+		t.Error("untestable 50% regression waved through")
+	}
+}
+
+func TestCeilingAgainstCIUpperBound(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []float64{100}, nil)
+	// Mean ratio 1.0 but wide spread: CI upper bound crosses 1.05.
+	wide := writeReport(t, dir, "wide.json", []float64{100, 100, 100},
+		map[string][]float64{"r": {0.9, 1.0, 1.1}})
+	err := run(old, wide, 0, false, benchfmt.DefaultAlpha,
+		[]benchfmt.Ceiling{{Metric: "r", Limit: 1.05}})
+	if err == nil {
+		t.Fatal("wide-CI ceiling violation passed")
+	}
+	if !strings.Contains(err.Error(), "wide.json") {
+		t.Errorf("ceiling error %q does not name the offending file", err)
+	}
+	// Same mean with tight samples stays under the ceiling.
+	tight := writeReport(t, dir, "tight.json", []float64{100, 100, 100},
+		map[string][]float64{"r": {0.99, 1.0, 1.01}})
+	if err := run(old, tight, 0, false, benchfmt.DefaultAlpha,
+		[]benchfmt.Ceiling{{Metric: "r", Limit: 1.05}}); err != nil {
+		t.Errorf("tight-CI report failed the same ceiling: %v", err)
+	}
+}
+
+func TestAbsentCeilingMetricNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []float64{100}, nil)
+	neu := writeReport(t, dir, "new.json", []float64{100}, nil)
+	err := run(old, neu, 0, false, benchfmt.DefaultAlpha,
+		[]benchfmt.Ceiling{{Metric: "no_such", Limit: 1}})
+	if err == nil {
+		t.Fatal("absent ceiling metric accepted")
+	}
+	if !strings.Contains(err.Error(), "new.json") || !strings.Contains(err.Error(), "no_such") {
+		t.Errorf("error %q does not name the file and metric", err)
+	}
+}

@@ -6,10 +6,17 @@
 // p99 for dynamic expansion lengths).
 //
 //	go test -run '^$' -bench 'Dictionary' -benchmem . | benchjson > BENCH_dictionary.json
+//	go test -run '^$' -bench 'Dictionary' -count=5 . | benchjson > BENCH_dictionary.json
+//
+// With `-count=N` every benchmark repeats N times and the report carries
+// all N raw samples per metric — point fields become means, and benchdiff
+// gains per-side 95% confidence intervals plus a Mann-Whitney
+// significance test for its -significant gate.
 //
 // It fails (exit 1) when no benchmark lines are found, so an empty or
 // broken bench run can never silently overwrite a trajectory file.
-// The schema and parser live in internal/benchfmt, shared with benchdiff.
+// The schema and parser live in internal/benchfmt, shared with benchdiff,
+// cctrend and the perf-history ledger.
 package main
 
 import (
@@ -24,7 +31,7 @@ import (
 func main() {
 	rep, err := benchfmt.Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		fmt.Fprintf(os.Stderr, "benchjson: parsing stdin: %v\n", err)
 		os.Exit(1)
 	}
 	// Derived cross-benchmark metrics (compressed_vs_native_ratio) ride

@@ -54,11 +54,11 @@ func buildReport(diff bool, args []string) (*obs.Report, error) {
 		}
 		old, err := obs.Open(args[0])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("old bundle %s: %w", args[0], err)
 		}
 		new, err := obs.Open(args[1])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("new bundle %s: %w", args[1], err)
 		}
 		return obs.DiffReport(obs.NewDiff(old, new)), nil
 	}
@@ -67,7 +67,7 @@ func buildReport(diff bool, args []string) (*obs.Report, error) {
 	}
 	b, err := obs.Open(args[0])
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bundle %s: %w", args[0], err)
 	}
 	return obs.BundleReport(b), nil
 }

@@ -1,29 +1,58 @@
 // Package benchfmt owns the repository's BENCH_*.json trajectory format:
-// parsing `go test -bench` output into it (command benchjson) and
-// comparing two trajectory files (command benchdiff). Keeping the schema
-// in one package means the writer and the regression gate can never
-// drift apart.
+// parsing `go test -bench` output into it (command benchjson), comparing
+// two trajectory files (command benchdiff), and the sample statistics —
+// per-metric distributions with 95% confidence intervals and a
+// Mann-Whitney U significance test — that make those comparisons robust
+// to run-to-run noise. Keeping the schema in one package means the
+// writer, the regression gate and the perf-history ledger
+// (internal/perfhist) can never drift apart.
 package benchfmt
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Canonical metric names for the built-in `go test -bench` units, used as
+// keys into Benchmark.Samples alongside the custom b.ReportMetric names.
+const (
+	MetricNs     = "ns/op"
+	MetricBytes  = "B/op"
+	MetricAllocs = "allocs/op"
+	MetricMBs    = "MB/s"
+)
+
+// Benchmark is one benchmark's aggregated result. With `go test -count=N`
+// the same benchmark name appears N times in the output; Parse folds the
+// duplicates into one Benchmark whose point fields (NsPerOp, Metrics, …)
+// hold per-metric means and whose Samples carry every raw observation.
+// Single-sample reports serialize exactly as they did before Samples
+// existed (the field is omitted), so committed baselines stay loadable
+// in both directions.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
+	Name string `json:"name"`
+
+	// Iterations is the total b.N across all samples of this benchmark.
+	Iterations int64 `json:"iterations"`
+
+	// Point values: the per-metric sample means (the sample value itself
+	// when N=1).
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// Samples holds every raw observation per metric (keyed by MetricNs,
+	// MetricBytes, … or the custom metric name), present only when the
+	// report was built from more than one sample.
+	Samples map[string][]float64 `json:"samples,omitempty"`
 }
 
 // Report is the file layout.
@@ -37,10 +66,8 @@ type Report struct {
 
 // Find returns the named benchmark.
 func (r *Report) Find(name string) (Benchmark, bool) {
-	for _, b := range r.Benchmarks {
-		if b.Name == name {
-			return b, true
-		}
+	if b := r.find(name); b != nil {
+		return *b, true
 	}
 	return Benchmark{}, false
 }
@@ -53,6 +80,9 @@ func ReadFile(path string) (*Report, error) {
 	}
 	rep := &Report{}
 	if err := json.Unmarshal(data, rep); err != nil {
+		if syn, ok := err.(*json.SyntaxError); ok {
+			return nil, fmt.Errorf("benchfmt: %s: offset %d: %w", path, syn.Offset, err)
+		}
 		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
 	}
 	return rep, nil
@@ -60,7 +90,11 @@ func ReadFile(path string) (*Report, error) {
 
 // Parse converts `go test -bench` output into a report. It fails when no
 // benchmark lines are found, so an empty or broken bench run can never
-// silently produce an empty trajectory file.
+// silently produce an empty trajectory file. Duplicate result lines for
+// one benchmark name — what `go test -count=N` emits — accumulate as
+// samples: the point fields become per-metric means, Iterations the total
+// across runs, and Samples the raw observations feeding Dist and the
+// Mann-Whitney significance test.
 func Parse(sc *bufio.Scanner) (*Report, error) {
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	rep := &Report{}
@@ -80,7 +114,7 @@ func Parse(sc *bufio.Scanner) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%q: %w", line, err)
 			}
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			rep.add(b)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -89,7 +123,75 @@ func Parse(sc *bufio.Scanner) (*Report, error) {
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark result lines on stdin")
 	}
+	rep.finalize()
 	return rep, nil
+}
+
+// add accumulates one parsed result line into the report: a first
+// occurrence starts the benchmark's sample arrays, a duplicate name
+// appends to them. Point fields are recomputed from the samples by
+// finalize.
+func (r *Report) add(b Benchmark) {
+	e := r.find(b.Name)
+	if e == nil {
+		r.Benchmarks = append(r.Benchmarks, b)
+		e = &r.Benchmarks[len(r.Benchmarks)-1]
+		e.Samples = map[string][]float64{}
+	} else {
+		e.Iterations += b.Iterations
+	}
+	e.Samples[MetricNs] = append(e.Samples[MetricNs], b.NsPerOp)
+	if b.BytesPerOp != nil {
+		e.Samples[MetricBytes] = append(e.Samples[MetricBytes], *b.BytesPerOp)
+	}
+	if b.AllocsPerOp != nil {
+		e.Samples[MetricAllocs] = append(e.Samples[MetricAllocs], *b.AllocsPerOp)
+	}
+	if b.MBPerSec != nil {
+		e.Samples[MetricMBs] = append(e.Samples[MetricMBs], *b.MBPerSec)
+	}
+	for m, v := range b.Metrics {
+		e.Samples[m] = append(e.Samples[m], v)
+	}
+}
+
+// finalize folds each benchmark's samples into its point fields (means)
+// and drops the Samples map entirely for single-sample benchmarks, so a
+// -count=1 run serializes byte-identically to the pre-sample schema.
+func (r *Report) finalize() {
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		multi := false
+		for _, s := range b.Samples {
+			if len(s) > 1 {
+				multi = true
+			}
+		}
+		if !multi {
+			b.Samples = nil
+			continue
+		}
+		mean := func(s []float64) float64 { return NewDist(s).Mean }
+		b.NsPerOp = mean(b.Samples[MetricNs])
+		for _, u := range []struct {
+			key string
+			dst **float64
+		}{
+			{MetricBytes, &b.BytesPerOp},
+			{MetricAllocs, &b.AllocsPerOp},
+			{MetricMBs, &b.MBPerSec},
+		} {
+			if s := b.Samples[u.key]; len(s) > 0 {
+				v := mean(s)
+				*u.dst = &v
+			}
+		}
+		for m := range b.Metrics {
+			if s := b.Samples[m]; len(s) > 0 {
+				b.Metrics[m] = mean(s)
+			}
+		}
+	}
 }
 
 // parseBench parses one result line: name, iteration count, then
@@ -111,13 +213,13 @@ func parseBench(line string) (Benchmark, error) {
 		}
 		// v is re-declared each iteration, so taking its address is safe.
 		switch f[i+1] {
-		case "ns/op":
+		case MetricNs:
 			b.NsPerOp = v
-		case "B/op":
+		case MetricBytes:
 			b.BytesPerOp = &v
-		case "allocs/op":
+		case MetricAllocs:
 			b.AllocsPerOp = &v
-		case "MB/s":
+		case MetricMBs:
 			b.MBPerSec = &v
 		default:
 			if b.Metrics == nil {
@@ -127,6 +229,37 @@ func parseBench(line string) (Benchmark, error) {
 		}
 	}
 	return b, nil
+}
+
+// Dist returns the distribution of the named metric: computed over the
+// raw samples when the benchmark carries them, else degenerating to the
+// single point value (N=1, zero spread). The second result is false when
+// the benchmark does not track the metric at all.
+func (b *Benchmark) Dist(metric string) (Dist, bool) {
+	if s := b.Samples[metric]; len(s) > 0 {
+		return NewDist(s), true
+	}
+	switch metric {
+	case MetricNs:
+		return NewDist([]float64{b.NsPerOp}), true
+	case MetricBytes:
+		if b.BytesPerOp != nil {
+			return NewDist([]float64{*b.BytesPerOp}), true
+		}
+	case MetricAllocs:
+		if b.AllocsPerOp != nil {
+			return NewDist([]float64{*b.AllocsPerOp}), true
+		}
+	case MetricMBs:
+		if b.MBPerSec != nil {
+			return NewDist([]float64{*b.MBPerSec}), true
+		}
+	default:
+		if v, ok := b.Metrics[metric]; ok {
+			return NewDist([]float64{v}), true
+		}
+	}
+	return Dist{}, false
 }
 
 // AddDerived attaches metrics computed across benchmarks, stored on a
@@ -142,18 +275,28 @@ func parseBench(line string) (Benchmark, error) {
 //   - fastpath_coverage: BenchmarkSampledExecution's faststeps/op over its
 //     steps/op — the share of execution the fused loop supplied.
 //
-// Each derivation is independently a no-op when a side is absent or its
-// denominator is zero.
+// With multi-sample inputs each derived metric carries its own sample
+// set, giving the -max ceiling a confidence interval to gate on. How
+// samples pair up depends on where they come from. Cross-benchmark
+// ratios (the two overhead ratios) divide samples from *independent*
+// runs — `go test -count=N` runs each benchmark N consecutive times, so
+// sample i of the numerator and sample i of the denominator share
+// nothing — and are paired after sorting both sides: the i-th order
+// statistic over the i-th order statistic, a quantile-matched ratio
+// whose spread reflects the distributions' relationship rather than the
+// (arbitrary) run pairing. fastpath_coverage divides two metrics of the
+// *same* benchmark, where index i on both sides is the same run, so it
+// pairs by index exactly. Non-finite pairs (zero or NaN denominators)
+// are skipped, and each derivation is independently a no-op when a side
+// is absent or no finite pair survives.
 func (r *Report) AddDerived() {
 	r.deriveRatio("BenchmarkCompressedExecution", "compressed_vs_native_ratio",
 		"BenchmarkNativeExecution")
 	r.deriveRatio("BenchmarkSampledExecution", "sampled_profiling_overhead_ratio",
 		"BenchmarkCompressedExecution")
 	if b := r.find("BenchmarkSampledExecution"); b != nil {
-		steps, fast := b.Metrics["steps/op"], b.Metrics["faststeps/op"]
-		if steps > 0 {
-			b.Metrics["fastpath_coverage"] = fast / steps
-		}
+		b.storeDerived("fastpath_coverage",
+			pairwiseRatios(b.metricSamples("faststeps/op"), b.metricSamples("steps/op")))
 	}
 }
 
@@ -167,20 +310,78 @@ func (r *Report) find(name string) *Benchmark {
 	return nil
 }
 
-// deriveRatio stores name's ns/op over base's ns/op as metric on name.
+// deriveRatio stores name's ns/op over base's ns/op as metric on name,
+// pairing the two sides' samples as sorted order statistics (see
+// AddDerived for why cross-benchmark samples must not pair by run index).
 func (r *Report) deriveRatio(name, metric, base string) {
-	bb, ok := r.Find(base)
-	if !ok || bb.NsPerOp == 0 {
+	b, bb := r.find(name), r.find(base)
+	if b == nil || bb == nil {
 		return
 	}
-	b := r.find(name)
-	if b == nil {
+	b.storeDerived(metric, pairwiseRatios(
+		sortedCopy(b.metricSamples(MetricNs)), sortedCopy(bb.metricSamples(MetricNs))))
+}
+
+// sortedCopy returns the samples in ascending order without mutating the
+// report's own arrays.
+func sortedCopy(s []float64) []float64 {
+	out := append([]float64(nil), s...)
+	sort.Float64s(out)
+	return out
+}
+
+// metricSamples returns the raw samples of a metric, falling back to the
+// single point value for sample-less reports. A metric the benchmark does
+// not track yields nil.
+func (b *Benchmark) metricSamples(metric string) []float64 {
+	if s := b.Samples[metric]; len(s) > 0 {
+		return s
+	}
+	if d, ok := b.Dist(metric); ok {
+		return []float64{d.Mean}
+	}
+	return nil
+}
+
+// storeDerived records a derived metric's mean (and, with more than one
+// surviving pair, its sample set) on the benchmark. No-op when ratios is
+// empty, so a missing input side never fabricates a metric.
+func (b *Benchmark) storeDerived(metric string, ratios []float64) {
+	if len(ratios) == 0 {
 		return
 	}
 	if b.Metrics == nil {
 		b.Metrics = map[string]float64{}
 	}
-	b.Metrics[metric] = b.NsPerOp / bb.NsPerOp
+	b.Metrics[metric] = NewDist(ratios).Mean
+	if len(ratios) > 1 {
+		if b.Samples == nil {
+			b.Samples = map[string][]float64{}
+		}
+		b.Samples[metric] = ratios
+	}
+}
+
+// pairwiseRatios divides num[i] by den[i] over the shorter length,
+// skipping pairs whose quotient is not finite (zero denominators, NaN or
+// Inf inputs), so derived metrics can never leak NaN/Inf into a report.
+func pairwiseRatios(num, den []float64) []float64 {
+	n := len(num)
+	if len(den) < n {
+		n = len(den)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if den[i] == 0 {
+			continue
+		}
+		v := num[i] / den[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // Ceiling is one absolute bound on a metric: unlike the relative
@@ -192,22 +393,30 @@ type Ceiling struct {
 	Limit  float64
 }
 
-// Exceeded checks the report against a set of ceilings. It returns the
-// violating (bench, metric, value) entries, and an error if a ceiling
-// names a metric no benchmark in the report carries — a gate silently
-// checking nothing is the failure mode this exists to prevent.
+// Exceeded checks the report against a set of ceilings. With multi-sample
+// reports the bound is evaluated against the metric's 95% CI upper bound,
+// not the mean — one lucky sample cannot sneak a regression under an
+// absolute gate — degrading to the point value for single-sample reports.
+// It returns the violating (bench, metric, evaluated value) entries, and
+// an error if a ceiling names a metric no benchmark in the report
+// carries — a gate silently checking nothing is the failure mode this
+// exists to prevent.
 func (r *Report) Exceeded(ceilings []Ceiling) ([]MetricDelta, error) {
 	var out []MetricDelta
 	for _, c := range ceilings {
 		found := false
-		for _, b := range r.Benchmarks {
-			v, ok := b.Metrics[c.Metric]
-			if !ok {
+		for i := range r.Benchmarks {
+			b := &r.Benchmarks[i]
+			if _, ok := b.Metrics[c.Metric]; !ok {
 				continue
 			}
 			found = true
-			if v > c.Limit {
-				out = append(out, MetricDelta{Bench: b.Name, Metric: c.Metric, Old: c.Limit, New: v})
+			d, _ := b.Dist(c.Metric)
+			if d.CIHigh > c.Limit {
+				out = append(out, MetricDelta{
+					Bench: b.Name, Metric: c.Metric, Old: c.Limit, New: d.CIHigh,
+					NewDist: d, P: math.NaN(),
+				})
 			}
 		}
 		if !found {
@@ -236,12 +445,18 @@ func (r *Report) MetricNames() []string {
 	return names
 }
 
-// MetricDelta is one measurement's movement between two reports.
+// MetricDelta is one measurement's movement between two reports. Old and
+// New are the per-side means; OldDist/NewDist the full distributions; P
+// the two-sided Mann-Whitney p-value, NaN when either side lacks the two
+// samples a significance test needs.
 type MetricDelta struct {
-	Bench  string  // benchmark name
-	Metric string  // "ns/op" or a custom metric name
-	Old    float64 // value in the old report
-	New    float64 // value in the new report
+	Bench   string  // benchmark name
+	Metric  string  // "ns/op" or a custom metric name
+	Old     float64 // mean in the old report
+	New     float64 // mean in the new report
+	OldDist Dist
+	NewDist Dist
+	P       float64
 }
 
 // Pct is the relative change in percent; +Inf-free: a zero old value with
@@ -256,6 +471,12 @@ func (d MetricDelta) Pct() float64 {
 	return 100 * (d.New - d.Old) / d.Old
 }
 
+// Significant reports whether both sides carried enough samples to run
+// the Mann-Whitney test and it rejected "same distribution" at alpha.
+func (d MetricDelta) Significant(alpha float64) bool {
+	return !math.IsNaN(d.P) && d.P <= alpha
+}
+
 // Comparison is the outcome of diffing two reports.
 type Comparison struct {
 	Deltas  []MetricDelta // benchmarks present in both, in old-report order
@@ -265,22 +486,20 @@ type Comparison struct {
 
 // Compare matches benchmarks by name and computes per-metric deltas:
 // ns/op always, then every custom metric the two sides share (quantiles
-// like selbits-p99), sorted by metric name within a benchmark.
+// like selbits-p99), sorted by metric name within a benchmark. A metric
+// only one side carries produces no delta row (the benchmark-level
+// OldOnly/NewOnly lists cover whole benchmarks appearing/disappearing).
+// Each delta carries both sides' distributions and, when both sides have
+// at least two samples, a Mann-Whitney p-value.
 func Compare(old, new *Report) *Comparison {
 	c := &Comparison{}
-	newNames := map[string]bool{}
-	for _, b := range new.Benchmarks {
-		newNames[b.Name] = true
-	}
 	for _, ob := range old.Benchmarks {
 		nb, ok := new.Find(ob.Name)
 		if !ok {
 			c.OldOnly = append(c.OldOnly, ob.Name)
 			continue
 		}
-		c.Deltas = append(c.Deltas, MetricDelta{
-			Bench: ob.Name, Metric: "ns/op", Old: ob.NsPerOp, New: nb.NsPerOp,
-		})
+		c.Deltas = append(c.Deltas, newDelta(ob, nb, MetricNs, ob.NsPerOp, nb.NsPerOp))
 		shared := make([]string, 0, len(ob.Metrics))
 		for m := range ob.Metrics {
 			if _, ok := nb.Metrics[m]; ok {
@@ -289,9 +508,7 @@ func Compare(old, new *Report) *Comparison {
 		}
 		sort.Strings(shared)
 		for _, m := range shared {
-			c.Deltas = append(c.Deltas, MetricDelta{
-				Bench: ob.Name, Metric: m, Old: ob.Metrics[m], New: nb.Metrics[m],
-			})
+			c.Deltas = append(c.Deltas, newDelta(ob, nb, m, ob.Metrics[m], nb.Metrics[m]))
 		}
 	}
 	for _, nb := range new.Benchmarks {
@@ -302,6 +519,18 @@ func Compare(old, new *Report) *Comparison {
 	return c
 }
 
+// newDelta assembles one metric's delta row with distributions and, when
+// both sides have >= 2 samples, the Mann-Whitney p-value.
+func newDelta(ob, nb Benchmark, metric string, oldV, newV float64) MetricDelta {
+	d := MetricDelta{Bench: ob.Name, Metric: metric, Old: oldV, New: newV, P: math.NaN()}
+	d.OldDist, _ = ob.Dist(metric)
+	d.NewDist, _ = nb.Dist(metric)
+	if len(ob.Samples[metric]) >= 2 && len(nb.Samples[metric]) >= 2 {
+		d.P = MannWhitneyU(ob.Samples[metric], nb.Samples[metric])
+	}
+	return d
+}
+
 // Regressions returns the deltas whose value grew by more than threshold
 // percent. All tracked metrics are costs (time, bytes, quantile sizes),
 // so growth is always the bad direction.
@@ -309,6 +538,25 @@ func (c *Comparison) Regressions(threshold float64) []MetricDelta {
 	var out []MetricDelta
 	for _, d := range c.Deltas {
 		if d.Pct() > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SignificantRegressions filters Regressions down to the deltas that are
+// also statistically significant at alpha: a mean that grew past the
+// threshold but whose distributions the Mann-Whitney test cannot tell
+// apart is scheduler noise, not a regression. Deltas without enough
+// samples for the test (either side single-sample) are kept — absence of
+// evidence must fail the gate, not wave it through.
+func (c *Comparison) SignificantRegressions(threshold, alpha float64) []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Pct() <= threshold {
+			continue
+		}
+		if math.IsNaN(d.P) || d.P <= alpha {
 			out = append(out, d)
 		}
 	}

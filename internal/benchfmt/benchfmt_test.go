@@ -2,6 +2,8 @@ package benchfmt
 
 import (
 	"bufio"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -168,5 +170,230 @@ func TestMetricDeltaPctZeroOld(t *testing.T) {
 	}
 	if p := (MetricDelta{Old: 0, New: 0}).Pct(); p != 0 {
 		t.Fatalf("pct zero/zero = %v", p)
+	}
+}
+
+// countOutput renders a -count=3 run: each benchmark line repeats with
+// per-run values.
+const countOutput = `goos: linux
+pkg: repro
+BenchmarkX-8   10   100 ns/op   0.40 ratio
+BenchmarkX-8   12   110 ns/op   0.50 ratio
+BenchmarkX-8   11   120 ns/op   0.60 ratio
+BenchmarkY-8    5   500 ns/op
+PASS
+`
+
+func parseCount(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Parse(bufio.NewScanner(strings.NewReader(countOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestParseAccumulatesSamples is the regression test for the duplicate
+// benchmark-line bug: Parse used to keep only the last occurrence of a
+// repeated name, silently discarding every earlier -count sample.
+func TestParseAccumulatesSamples(t *testing.T) {
+	rep := parseCount(t)
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	x := rep.Benchmarks[0]
+	if x.Name != "BenchmarkX-8" {
+		t.Fatalf("bench 0: %+v", x)
+	}
+	if x.Iterations != 33 {
+		t.Errorf("Iterations = %d, want 33 (sum across runs)", x.Iterations)
+	}
+	if x.NsPerOp != 110 {
+		t.Errorf("NsPerOp = %v, want mean 110", x.NsPerOp)
+	}
+	if x.Metrics["ratio"] != 0.5 {
+		t.Errorf("ratio = %v, want mean 0.5", x.Metrics["ratio"])
+	}
+	wantNs := []float64{100, 110, 120}
+	if got := x.Samples[MetricNs]; len(got) != 3 || got[0] != wantNs[0] || got[1] != wantNs[1] || got[2] != wantNs[2] {
+		t.Errorf("ns samples = %v, want %v", got, wantNs)
+	}
+	if got := x.Samples["ratio"]; len(got) != 3 {
+		t.Errorf("ratio samples = %v, want 3 entries", got)
+	}
+	// Single-sample benchmarks drop Samples so the serialized form is
+	// byte-identical to the pre-sample schema.
+	if y := rep.Benchmarks[1]; y.Samples != nil {
+		t.Errorf("single-sample benchmark kept Samples: %v", y.Samples)
+	}
+}
+
+func TestSamplesRoundTripJSON(t *testing.T) {
+	rep := parseCount(t)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Benchmarks[0].Samples[MetricNs]; len(got) != 3 {
+		t.Fatalf("samples lost in round-trip: %v", got)
+	}
+	if strings.Contains(string(data), `"BenchmarkY-8","iterations":5,"ns_per_op":500,"samples"`) {
+		t.Fatal("single-sample benchmark serialized a samples field")
+	}
+}
+
+func TestCompareOneSidedMetric(t *testing.T) {
+	// A metric only one side carries must not produce a delta row —
+	// there is nothing to compare it against.
+	old := &Report{Benchmarks: []Benchmark{{Name: "B", NsPerOp: 100,
+		Metrics: map[string]float64{"only_old": 1}}}}
+	newer := &Report{Benchmarks: []Benchmark{{Name: "B", NsPerOp: 100,
+		Metrics: map[string]float64{"only_new": 2}}}}
+	c := Compare(old, newer)
+	if len(c.Deltas) != 1 || c.Deltas[0].Metric != MetricNs {
+		t.Fatalf("deltas = %+v, want ns/op only", c.Deltas)
+	}
+}
+
+func TestCompareSignificance(t *testing.T) {
+	mk := func(ns []float64) *Report {
+		b := Benchmark{Name: "B", Samples: map[string][]float64{MetricNs: ns}}
+		b.NsPerOp = NewDist(ns).Mean
+		return &Report{Benchmarks: []Benchmark{b}}
+	}
+	// Noise: ~15% mean movement but heavily overlapping spreads.
+	old := mk([]float64{100, 140, 105, 150, 117})
+	noisy := mk([]float64{110, 160, 120, 140, 152})
+	c := Compare(old, noisy)
+	d := c.Deltas[0]
+	if d.Pct() < 10 {
+		t.Fatalf("test setup: pct = %v, want a >10%% mean move", d.Pct())
+	}
+	if d.Significant(DefaultAlpha) {
+		t.Errorf("overlapping distributions tested significant (p=%v)", d.P)
+	}
+	if regs := c.SignificantRegressions(10, DefaultAlpha); len(regs) != 0 {
+		t.Errorf("noise failed the significant gate: %+v", regs)
+	}
+
+	// Genuine shift: every new sample beyond every old one.
+	shifted := mk([]float64{130, 131, 132, 133, 134})
+	base := mk([]float64{100, 101, 102, 103, 104})
+	c = Compare(base, shifted)
+	d = c.Deltas[0]
+	if !d.Significant(DefaultAlpha) {
+		t.Errorf("clean 30%% shift not significant (p=%v)", d.P)
+	}
+	if regs := c.SignificantRegressions(10, DefaultAlpha); len(regs) != 1 {
+		t.Errorf("genuine shift passed the significant gate: %+v", regs)
+	}
+
+	// Too few samples on one side: p is NaN and the gate still fails.
+	single := &Report{Benchmarks: []Benchmark{{Name: "B", NsPerOp: 130}}}
+	c = Compare(base, single)
+	if !math.IsNaN(c.Deltas[0].P) {
+		t.Errorf("single-sample side produced p=%v, want NaN", c.Deltas[0].P)
+	}
+	if regs := c.SignificantRegressions(10, DefaultAlpha); len(regs) != 1 {
+		t.Errorf("untestable regression waved through: %+v", regs)
+	}
+}
+
+func TestExceededUsesCIUpperBound(t *testing.T) {
+	// Mean 1.0 is under the 1.05 ceiling, but the spread pushes the 95%
+	// CI upper bound over it — the gate must fail on the bound.
+	b := Benchmark{Name: "B", Metrics: map[string]float64{"r": 1.0},
+		Samples: map[string][]float64{"r": {0.9, 1.0, 1.1}}}
+	rep := &Report{Benchmarks: []Benchmark{b}}
+	over, err := rep.Exceeded([]Ceiling{{Metric: "r", Limit: 1.05}})
+	if err != nil || len(over) != 1 {
+		t.Fatalf("over = %+v, err %v", over, err)
+	}
+	if over[0].New <= 1.05 {
+		t.Errorf("reported value %v should be the CI bound above the limit", over[0].New)
+	}
+	// A wide enough ceiling clears the bound.
+	if over, _ := rep.Exceeded([]Ceiling{{Metric: "r", Limit: 2}}); len(over) != 0 {
+		t.Errorf("limit 2 violated: %+v", over)
+	}
+	// Tight samples: CI stays under the same 1.05 ceiling the spread broke.
+	b.Samples["r"] = []float64{0.99, 1.0, 1.01}
+	rep = &Report{Benchmarks: []Benchmark{b}}
+	if over, _ := rep.Exceeded([]Ceiling{{Metric: "r", Limit: 1.05}}); len(over) != 0 {
+		t.Errorf("tight CI flagged: %+v", over)
+	}
+}
+
+func TestAddDerivedGuardsNonFinite(t *testing.T) {
+	// Zero and NaN denominators in the sample pairing must be skipped,
+	// never leaking NaN/Inf into a derived metric.
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkNativeExecution", NsPerOp: 100,
+			Samples: map[string][]float64{MetricNs: {0, math.NaN(), 100, 200}}},
+		{Name: "BenchmarkCompressedExecution", NsPerOp: 120,
+			Samples: map[string][]float64{MetricNs: {110, 120, 110, 220}}},
+	}}
+	rep.AddDerived()
+	comp, _ := rep.Find("BenchmarkCompressedExecution")
+	got, ok := comp.Metrics["compressed_vs_native_ratio"]
+	if !ok {
+		t.Fatal("ratio not derived from the finite pairs")
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("ratio = %v", got)
+	}
+	// Sorted pairing: num {110,110,120,220} over den {NaN,0,100,200};
+	// only the two finite pairs (120/100, 220/200) survive.
+	if s := comp.Samples["compressed_vs_native_ratio"]; len(s) != 2 || s[0] != 1.2 || s[1] != 1.1 {
+		t.Fatalf("ratio samples = %v, want [1.2 1.1]", s)
+	}
+}
+
+func TestAddDerivedSortsCrossBenchmarkPairs(t *testing.T) {
+	// -count runs each benchmark N consecutive times, so run order
+	// carries no pairing information; the derivation must match order
+	// statistics. Here both sides hold the same values in opposite
+	// order — sorted pairing yields exactly 1.0 ratios, while naive
+	// index pairing would produce a wide spread.
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkNativeExecution", NsPerOp: 110,
+			Samples: map[string][]float64{MetricNs: {120, 110, 100}}},
+		{Name: "BenchmarkCompressedExecution", NsPerOp: 110,
+			Samples: map[string][]float64{MetricNs: {100, 110, 120}}},
+	}}
+	rep.AddDerived()
+	comp, _ := rep.Find("BenchmarkCompressedExecution")
+	for _, v := range comp.Samples["compressed_vs_native_ratio"] {
+		if v != 1 {
+			t.Fatalf("sorted pairing broken: ratios %v", comp.Samples["compressed_vs_native_ratio"])
+		}
+	}
+	// Same-benchmark derivation (coverage) stays index-paired: sample i
+	// of faststeps and steps come from the same run.
+	rep2 := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSampledExecution", NsPerOp: 100, Metrics: map[string]float64{},
+			Samples: map[string][]float64{
+				MetricNs: {100, 101}, "faststeps/op": {50, 200}, "steps/op": {100, 200}}},
+	}}
+	rep2.AddDerived()
+	samp, _ := rep2.Find("BenchmarkSampledExecution")
+	if s := samp.Samples["fastpath_coverage"]; len(s) != 2 || s[0] != 0.5 || s[1] != 1 {
+		t.Fatalf("coverage samples = %v, want [0.5 1]", s)
+	}
+}
+
+func TestAddDerivedAllZeroDenominator(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkNativeExecution", NsPerOp: 0},
+		{Name: "BenchmarkCompressedExecution", NsPerOp: 120},
+	}}
+	rep.AddDerived()
+	comp, _ := rep.Find("BenchmarkCompressedExecution")
+	if _, ok := comp.Metrics["compressed_vs_native_ratio"]; ok {
+		t.Fatal("ratio fabricated from an all-zero denominator")
 	}
 }

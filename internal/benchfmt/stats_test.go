@@ -1,0 +1,119 @@
+package benchfmt
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestNewDistKnownValues(t *testing.T) {
+	d := NewDist([]float64{1, 2, 3, 4, 5})
+	if d.N != 5 {
+		t.Fatalf("N = %d, want 5", d.N)
+	}
+	approx(t, "Mean", d.Mean, 3, 1e-12)
+	if d.Min != 1 || d.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", d.Min, d.Max)
+	}
+	// sample stddev of {1..5} = sqrt(2.5)
+	approx(t, "Stddev", d.Stddev, math.Sqrt(2.5), 1e-12)
+	// 95% CI halfwidth = t(0.975, df=4) * sd/sqrt(5) = 2.776 * 0.7071... ≈ 1.963
+	approx(t, "CI halfwidth", d.CIHigh-d.Mean, 1.963, 0.002)
+	approx(t, "CI symmetry", d.Mean-d.CILow, d.CIHigh-d.Mean, 1e-12)
+}
+
+func TestNewDistSingleSample(t *testing.T) {
+	d := NewDist([]float64{42})
+	if d.N != 1 || d.Mean != 42 || d.Stddev != 0 {
+		t.Fatalf("unexpected dist: %+v", d)
+	}
+	// CI collapses to the point: a single observation carries no spread.
+	if d.CILow != 42 || d.CIHigh != 42 {
+		t.Errorf("CI = [%v, %v], want [42, 42]", d.CILow, d.CIHigh)
+	}
+}
+
+func TestDistOverlaps(t *testing.T) {
+	a := Dist{CILow: 1, CIHigh: 3}
+	b := Dist{CILow: 2.5, CIHigh: 5}
+	c := Dist{CILow: 3.5, CIHigh: 4}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("a and c are disjoint")
+	}
+	// Touching endpoints count as overlap — cannot claim separation.
+	d := Dist{CILow: 3, CIHigh: 4}
+	if !a.Overlaps(d) {
+		t.Error("touching intervals overlap")
+	}
+}
+
+// TestMannWhitneyKnownTables pins the exact two-sided p-values against
+// published Mann-Whitney tables for small samples.
+func TestMannWhitneyKnownTables(t *testing.T) {
+	// n1=n2=5, U=2: p = 2 * 4/252 = 0.031746...
+	p := MannWhitneyU([]float64{1, 2, 3, 4, 7}, []float64{5, 6, 8, 9, 10})
+	approx(t, "n=5/5 U=2", p, 2.0*4.0/252.0, 1e-9)
+
+	// n1=n2=5, U=3: p = 2 * 7/252 = 0.055555...
+	p = MannWhitneyU([]float64{1, 2, 3, 5, 7}, []float64{4, 6, 8, 9, 10})
+	approx(t, "n=5/5 U=3", p, 2.0*7.0/252.0, 1e-9)
+
+	// n1=n2=4, U=0 (complete separation): p = 2 * 1/70 = 0.028571...
+	p = MannWhitneyU([]float64{1, 2, 3, 4}, []float64{5, 6, 7, 8})
+	approx(t, "n=4/4 U=0", p, 2.0/70.0, 1e-9)
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 7}
+	y := []float64{5, 6, 8, 9, 10}
+	if MannWhitneyU(x, y) != MannWhitneyU(y, x) {
+		t.Error("p-value must not depend on argument order")
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitneyU(nil, []float64{1}); !math.IsNaN(p) {
+		t.Errorf("empty side: p = %v, want NaN", p)
+	}
+	// All observations tied: zero variance, no evidence of difference.
+	if p := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all tied: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyNormalApproximation(t *testing.T) {
+	// Above exactMaxN the normal approximation kicks in. Two clearly
+	// shifted samples must test significant; interleaved identical
+	// distributions must not.
+	var lo, hi, a, b []float64
+	for i := 0; i < 25; i++ {
+		lo = append(lo, 100+float64(i))
+		hi = append(hi, 200+float64(i))
+		a = append(a, float64(2*i))   // evens
+		b = append(b, float64(2*i+1)) // odds, perfectly interleaved
+	}
+	if p := MannWhitneyU(lo, hi); p > 1e-6 {
+		t.Errorf("shifted samples: p = %v, want ~0", p)
+	}
+	if p := MannWhitneyU(a, b); p < 0.5 {
+		t.Errorf("interleaved samples: p = %v, want large", p)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Ties force the midrank/normal path even at small n; the result
+	// must stay a sane probability.
+	p := MannWhitneyU([]float64{1, 2, 2, 3}, []float64{2, 3, 3, 4})
+	if math.IsNaN(p) || p <= 0 || p > 1 {
+		t.Errorf("tied samples: p = %v, want (0, 1]", p)
+	}
+}

@@ -32,6 +32,12 @@ type ReportTable struct {
 	Head  []string
 	Num   []bool
 	Rows  [][]string
+
+	// Figure is an optional pre-rendered HTML fragment (an inline SVG
+	// chart, e.g. perfhist's trend sparklines) shown between the note and
+	// the table in HTML output; text output carries the same content in
+	// the table rows, so it omits the figure rather than approximating it.
+	Figure template.HTML
 }
 
 // reportHTML is the single embedded template: a dependency-free,
@@ -53,7 +59,7 @@ td.num,th.num{text-align:right;font-variant-numeric:tabular-nums}
 <table class="kv">{{range .KV}}<tr><td>{{index . 0}}</td><td>{{index . 1}}</td></tr>
 {{end}}</table>
 {{range .Tables}}<h2>{{.Title}}</h2>
-{{if .Note}}<p class="note">{{.Note}}</p>{{end}}
+{{if .Note}}<p class="note">{{.Note}}</p>{{end}}{{with .Figure}}<div class="fig">{{.}}</div>{{end}}
 {{$t := .}}<table>
 <tr>{{range $i, $h := .Head}}<th{{if index $t.Num $i}} class="num"{{end}}>{{$h}}</th>{{end}}</tr>
 {{range .Rows}}<tr>{{range $i, $c := .}}<td{{if index $t.Num $i}} class="num"{{end}}>{{$c}}</td>{{end}}</tr>

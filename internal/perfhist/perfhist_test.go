@@ -1,0 +1,207 @@
+package perfhist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// entry builds a valid ledger entry whose single benchmark carries the
+// given ns/op samples (multi-sample → real CI; one sample → point).
+func entry(commit, ts string, ns ...float64) *Entry {
+	b := benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: benchfmt.NewDist(ns).Mean}
+	if len(ns) > 1 {
+		b.Samples = map[string][]float64{benchfmt.MetricNs: ns}
+	} else {
+		b.NsPerOp = ns[0]
+	}
+	return &Entry{
+		Schema: SchemaVersion, Commit: commit, Timestamp: ts,
+		Report: &benchfmt.Report{Benchmarks: []benchfmt.Benchmark{b}},
+	}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	e1 := entry("aaaa111", "2026-08-01T10:00:00Z", 100, 101, 102)
+	e2 := entry("bbbb222", "2026-08-02T10:00:00Z", 103, 104, 105)
+	e2.GoVersion, e2.CPU, e2.OptionsHash = "go1.24.0", "Test CPU", "deadbeef"
+	for _, e := range []*Entry{e1, e2} {
+		if err := Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(got))
+	}
+	if got[0].Commit != "aaaa111" || got[1].Commit != "bbbb222" {
+		t.Fatalf("order lost: %q, %q", got[0].Commit, got[1].Commit)
+	}
+	if got[1].GoVersion != "go1.24.0" || got[1].CPU != "Test CPU" || got[1].OptionsHash != "deadbeef" {
+		t.Fatalf("identity lost: %+v", got[1])
+	}
+	if s := got[0].Report.Benchmarks[0].Samples[benchfmt.MetricNs]; len(s) != 3 {
+		t.Fatalf("samples lost: %v", s)
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	cases := map[string]*Entry{
+		"wrong schema":  {Schema: 99, Commit: "c", Timestamp: "2026-08-01T10:00:00Z", Report: entry("c", "2026-08-01T10:00:00Z", 1).Report},
+		"no commit":     entry("", "2026-08-01T10:00:00Z", 1),
+		"bad timestamp": entry("c", "yesterday", 1),
+		"no report":     {Schema: SchemaVersion, Commit: "c", Timestamp: "2026-08-01T10:00:00Z"},
+	}
+	for name, e := range cases {
+		if err := Append(path, e); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("rejected appends still created the ledger file")
+	}
+}
+
+func TestLoadNamesPathAndLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	good := entry("aaaa111", "2026-08-01T10:00:00Z", 100)
+	if err := Append(path, good); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 2 is a torn (truncated) entry.
+	if _, err := f.WriteString(`{"schema":1,"commit":"bbbb` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("torn entry loaded")
+	}
+	if !strings.Contains(err.Error(), path+":2:") {
+		t.Errorf("error %q does not name path and line 2", err)
+	}
+}
+
+func TestLoadRejectsSchemaDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	line := `{"schema":2,"commit":"c","timestamp":"2026-08-01T10:00:00Z","report":{"benchmarks":[{"name":"B","iterations":1,"ns_per_op":1}]}}`
+	if err := os.WriteFile(path, []byte(line+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil || !strings.Contains(err.Error(), "schema version 2") {
+		t.Fatalf("schema drift not rejected: %v", err)
+	}
+}
+
+func TestLoadEmptyLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := os.WriteFile(path, []byte("\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("blank-only ledger loaded")
+	}
+}
+
+func TestTrendSeries(t *testing.T) {
+	entries := []Entry{
+		*entry("c1", "2026-08-01T10:00:00Z", 100, 101, 102),
+		*entry("c2", "2026-08-02T10:00:00Z", 103, 104, 105),
+		*entry("c3", "2026-08-03T10:00:00Z", 140, 141, 142),
+	}
+	// Second entry also carries a custom metric — the series must still
+	// line up per metric, shorter where the metric is absent.
+	entries[1].Report.Benchmarks[0].Metrics = map[string]float64{"ratio": 1.1}
+
+	series := Trend(entries)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2 (ns/op + ratio): %+v", len(series), series)
+	}
+	ns := series[0]
+	if ns.Metric != benchfmt.MetricNs || len(ns.Points) != 3 {
+		t.Fatalf("ns series: %+v", ns)
+	}
+	if ns.Points[0].Commit != "c1" || ns.Points[2].Commit != "c3" {
+		t.Fatalf("point order: %+v", ns.Points)
+	}
+	if ns.Points[1].Index != 1 {
+		t.Fatalf("ledger index: %+v", ns.Points[1])
+	}
+	ratio := series[1]
+	if ratio.Metric != "ratio" || len(ratio.Points) != 1 {
+		t.Fatalf("ratio series: %+v", ratio)
+	}
+	// c1→c2 is ~3%: means moved but CIs overlap-free? The spreads are
+	// tight (sd=1), so the 40% step at c3 must flag and the 3% step too —
+	// unless CIs overlap. Verify just the unambiguous one.
+	found := false
+	for _, cp := range ns.Changepoints {
+		if cp == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("40%% step not flagged: changepoints %v", ns.Changepoints)
+	}
+}
+
+func TestDetectStepsNoiseSuppression(t *testing.T) {
+	mk := func(ns ...float64) Point {
+		return Point{Dist: benchfmt.NewDist(ns)}
+	}
+	// Wide, overlapping CIs: an 8% mean drift must NOT flag.
+	noisy := []Point{mk(100, 120, 90, 110), mk(108, 130, 95, 119)}
+	if steps := detectSteps(noisy); len(steps) != 0 {
+		t.Errorf("overlapping-CI drift flagged: %v", steps)
+	}
+	// Tight, disjoint CIs with a 40% step: must flag.
+	stepped := []Point{mk(100, 101, 102), mk(140, 141, 142)}
+	if steps := detectSteps(stepped); len(steps) != 1 || steps[0] != 1 {
+		t.Errorf("genuine step missed: %v", steps)
+	}
+	// Disjoint CIs but sub-threshold shift (1%): must not flag.
+	tiny := []Point{mk(100, 100.1, 100.2), mk(101, 101.1, 101.2)}
+	if steps := detectSteps(tiny); len(steps) != 0 {
+		t.Errorf("1%% drift flagged: %v", steps)
+	}
+}
+
+func TestWorstRegressions(t *testing.T) {
+	mk := func(bench, metric string, points ...benchfmt.Dist) Series {
+		s := Series{Bench: bench, Metric: metric}
+		for i, d := range points {
+			s.Points = append(s.Points, Point{Index: i, Dist: d})
+		}
+		return s
+	}
+	d := func(ns ...float64) benchfmt.Dist { return benchfmt.NewDist(ns) }
+	series := []Series{
+		mk("A", "ns/op", d(100, 101), d(150, 151)), // +50%, disjoint CIs
+		mk("B", "ns/op", d(100, 140), d(110, 160)), // +12.5%-ish, overlapping
+		mk("C", "ns/op", d(100), d(90)),            // improved: excluded
+		mk("D", "ns/op", d(100)),                   // single point: excluded
+	}
+	worst := WorstRegressions(series)
+	if len(worst) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(worst), worst)
+	}
+	if worst[0].Bench != "A" || !worst[0].Significant {
+		t.Errorf("worst[0]: %+v", worst[0])
+	}
+	if worst[1].Bench != "B" || worst[1].Significant {
+		t.Errorf("worst[1]: %+v", worst[1])
+	}
+}

@@ -1,0 +1,136 @@
+package perfhist
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trend files")
+
+// testLedger is a synthetic four-entry ledger: two benchmarks, one with
+// a custom metric, a genuine 40% step at the third entry, and a recent
+// noise-only wobble — enough to exercise every table and the sparkline
+// figure.
+func testLedger() []Entry {
+	mk := func(commit, ts string, execNs, buildNs []float64, ratio []float64) Entry {
+		exec := benchfmt.Benchmark{Name: "BenchmarkCompressedExecution",
+			NsPerOp: benchfmt.NewDist(execNs).Mean,
+			Samples: map[string][]float64{benchfmt.MetricNs: execNs}}
+		if ratio != nil {
+			exec.Metrics = map[string]float64{"compressed_vs_native_ratio": benchfmt.NewDist(ratio).Mean}
+			exec.Samples["compressed_vs_native_ratio"] = ratio
+		}
+		build := benchfmt.Benchmark{Name: "BenchmarkDictionaryBuild",
+			NsPerOp: benchfmt.NewDist(buildNs).Mean,
+			Samples: map[string][]float64{benchfmt.MetricNs: buildNs}}
+		return Entry{
+			Schema: SchemaVersion, Commit: commit, Timestamp: ts,
+			GoVersion: "go1.24.0", CPU: "Test CPU @ 2.10GHz",
+			Report: &benchfmt.Report{Goos: "linux", Goarch: "amd64", Pkg: "repro",
+				CPU: "Test CPU @ 2.10GHz", Benchmarks: []benchfmt.Benchmark{exec, build}},
+		}
+	}
+	return []Entry{
+		mk("1111111aaaaaaaa", "2026-08-01T10:00:00Z",
+			[]float64{1300, 1310, 1305}, []float64{900, 905, 910}, []float64{1.48, 1.49, 1.50}),
+		mk("2222222bbbbbbbb", "2026-08-02T10:00:00Z",
+			[]float64{1290, 1300, 1295}, []float64{902, 907, 912}, []float64{1.47, 1.48, 1.49}),
+		mk("3333333cccccccc", "2026-08-03T10:00:00Z",
+			[]float64{780, 785, 782}, []float64{905, 910, 915}, []float64{1.04, 1.05, 1.06}),
+		mk("4444444dddddddd", "2026-08-04T10:00:00Z",
+			[]float64{781, 786, 790}, []float64{930, 980, 1010}, []float64{1.05, 1.06, 1.07}),
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/perfhist -update` to create goldens)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden; rerun with -update if intended\n got: %q\nwant: %q",
+			name, got, string(want))
+	}
+}
+
+func TestTrendReportGolden(t *testing.T) {
+	r := TrendReport(testLedger())
+	var html, text strings.Builder
+	if err := r.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trend.html", html.String())
+	checkGolden(t, "trend.txt", text.String())
+}
+
+// TestTrendReportDeterministic renders the same ledger repeatedly —
+// map iteration anywhere in the pipeline would flake this.
+func TestTrendReportDeterministic(t *testing.T) {
+	var first string
+	for i := 0; i < 10; i++ {
+		var html strings.Builder
+		if err := TrendReport(testLedger()).WriteHTML(&html); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = html.String()
+		} else if html.String() != first {
+			t.Fatalf("render %d differs from render 0", i)
+		}
+	}
+}
+
+func TestTrendReportContent(t *testing.T) {
+	r := TrendReport(testLedger())
+	var html strings.Builder
+	if err := r.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	out := html.String()
+	for _, want := range []string{
+		"perf trend: 4 ledger entries",
+		"1111111 -&gt; 4444444",    // commit span (escaped arrow)
+		"Worst regressions",        // build slowed in the last entry
+		"BenchmarkDictionaryBuild", // ...namely this one
+		"Timeline: BenchmarkCompressedExecution",
+		"compressed_vs_native_ratio", // custom metric series
+		"<svg",                       // the sparkline figure made it into HTML
+		"#2a78d6",                    // mean line color
+		"#cde2fb",                    // CI band color
+		"#e34948",                    // changepoint mark: the 40% exec step
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML output missing %q", want)
+		}
+	}
+	// Text output carries the same tables but no figure markup.
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "<svg") {
+		t.Error("text output leaked SVG markup")
+	}
+	if !strings.Contains(text.String(), "Timeline: BenchmarkCompressedExecution") {
+		t.Error("text output missing timeline table")
+	}
+}
